@@ -1,0 +1,15 @@
+package bench
+
+import (
+	"math/rand"
+
+	"rt3/internal/rl"
+)
+
+// newBenchController builds the RL controller used by the episode
+// micro-benchmark at the evaluation's decision-sequence shape.
+func newBenchController(rng *rand.Rand) (*rl.Controller, error) {
+	return rl.NewController(rl.Config{
+		Hidden: 24, NumSets: 3, NumPatterns: 4, Levels: 3, K: 2, LR: 0.05,
+	}, rng)
+}

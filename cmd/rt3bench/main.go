@@ -1,0 +1,119 @@
+// Command rt3bench regenerates the paper's tables and figures on the
+// synthetic substrate and prints them to stdout.
+//
+// Usage:
+//
+//	rt3bench -exp all
+//	rt3bench -exp tab3 -scale small
+//	rt3bench -exp tab1|tab2|tab3|tab4|fig3a|fig3bc|fig4|fig5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"rt3/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rt3bench: ")
+	exp := flag.String("exp", "all", "experiment: all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5")
+	scaleFlag := flag.String("scale", "tiny", "model scale: tiny or small")
+	flag.Parse()
+
+	scale := experiments.ScaleTiny
+	switch *scaleFlag {
+	case "tiny":
+	case "small":
+		scale = experiments.ScaleSmall
+	default:
+		log.Fatalf("unknown scale %q (want tiny or small)", *scaleFlag)
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("== %s ==\n", name)
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println()
+	}
+
+	run("tab1", func() error {
+		fmt.Print(experiments.TableI())
+		return nil
+	})
+	run("tab2", func() error {
+		res, err := experiments.TableII(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	})
+	run("tab3", func() error {
+		for _, spec := range experiments.DefaultTable3Specs() {
+			res, err := experiments.TableIII(scale, spec)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+		}
+		return nil
+	})
+	run("tab4", func() error {
+		for _, ds := range []string{"WikiText-2", "RTE", "STS-B"} {
+			res, err := experiments.TableIV(scale, ds)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+		}
+		return nil
+	})
+	run("fig3a", func() error {
+		res, err := experiments.Figure3a(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	})
+	run("fig3bc", func() error {
+		for _, t := range []float64{104, 94} {
+			res, err := experiments.Figure3bc(scale, t)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+		}
+		return nil
+	})
+	run("fig4", func() error {
+		res, err := experiments.Figure4(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	})
+	run("fig5", func() error {
+		res, err := experiments.Figure5(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	})
+
+	if *exp != "all" && !strings.Contains("tab1 tab2 tab3 tab4 fig3a fig3bc fig4 fig5", *exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

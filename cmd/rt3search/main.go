@@ -1,0 +1,81 @@
+// Command rt3search runs the complete two-level RT3 AutoML pipeline on
+// one workload and prints the discovered multi-level deployment plan:
+// the Level-1 backbone, the Level-2 pattern sets per V/F level, their
+// predicted latency/number-of-runs, and the fine-tuned metrics.
+//
+// Usage:
+//
+//	rt3search -task wikitext -timing 104
+//	rt3search -task rte -timing 200 -episodes 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rt3/internal/experiments"
+	"rt3/internal/rt3"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rt3search: ")
+	taskName := flag.String("task", "wikitext", "workload: wikitext, rte, sts-b")
+	timing := flag.Float64("timing", 104, "real-time constraint T in ms")
+	episodes := flag.Int("episodes", 0, "RL episodes (0 = scale default)")
+	scaleFlag := flag.String("scale", "tiny", "model scale: tiny or small")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	scale := experiments.ScaleTiny
+	if *scaleFlag == "small" {
+		scale = experiments.ScaleSmall
+	}
+
+	var task rt3.TaskModel
+	var denseMS float64
+	switch *taskName {
+	case "wikitext":
+		task = experiments.NewLMTask(scale, *seed)
+		denseMS = 160
+	case "rte":
+		task = experiments.NewGLUETaskModel(scale, "RTE", *seed)
+		denseMS = 330
+	case "sts-b":
+		task = experiments.NewGLUETaskModel(scale, "STS-B", *seed)
+		denseMS = 430
+	default:
+		log.Fatalf("unknown task %q", *taskName)
+	}
+	fmt.Printf("pre-trained %s: %s = %.4f\n", *taskName, task.MetricName(), task.Evaluate())
+
+	rng := rand.New(rand.NewSource(*seed + 7))
+	l1, err := rt3.RunLevel1(task, experiments.DefaultLevel1(0.3), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Level 1 (BP): sparsity %.2f%%, %s = %.4f\n", l1.Sparsity*100, task.MetricName(), l1.Metric)
+
+	cfg := experiments.DefaultSearch(scale, *timing, *seed+13)
+	cfg.CalibrateMS = denseMS
+	if *episodes > 0 {
+		cfg.Episodes = *episodes
+	}
+	res, err := rt3.Search(task, l1, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Level 2 (RL search): %d episodes explored, %d on Pareto front\n",
+		len(res.Explored), len(res.ParetoFront()))
+
+	rt3.FinalizeSolution(task, res.Best, cfg.JointEpochs+1, cfg.Batch, cfg.LR, rng)
+	fmt.Printf("\nDeployment plan (T = %.0f ms):\n", *timing)
+	fmt.Printf("%-6s %10s %12s %14s %10s\n", "level", "sparsity", "latency(ms)", "runs/budget", task.MetricName())
+	for _, ls := range res.Best.Levels {
+		fmt.Printf("%-6s %9.2f%% %12.2f %14.0f %10.4f\n",
+			ls.Level.Name, ls.Sparsity*100, ls.LatencyMS, ls.Runs, ls.Metric)
+	}
+	fmt.Printf("\nweighted metric: %.4f  total runs: %.0f\n", res.Best.WeightedAcc, res.Best.TotalRuns)
+}

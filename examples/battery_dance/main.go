@@ -1,0 +1,70 @@
+// Battery dance: the paper's headline scenario. A battery drains while
+// the device keeps serving Transformer inferences under a 115 ms
+// real-time constraint. The DVFS governor steps the V/F level down as
+// charge falls and RT3 swaps the matching pattern set in, so the
+// constraint keeps holding to the last joule; the run compares this
+// against no reconfiguration and hardware-only reconfiguration.
+//
+// Run with: go run ./examples/battery_dance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rt3/internal/dvfs"
+	"rt3/internal/experiments"
+	"rt3/internal/rtswitch"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	res, err := experiments.TableII(experiments.ScaleTiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+
+	// Narrated drain: watch the governor step levels down.
+	fmt.Println("\nBattery trace (E3-style run, 1 report per 10% charge):")
+	levels := experiments.EvalLevels()
+	gov := dvfs.NewGovernor(levels)
+	bat := dvfs.NewBattery(100) // a small battery so the trace is short
+	power := dvfs.DefaultPowerModel()
+	costs := rtswitch.DefaultSwitchCostModel()
+	subs := []rtswitch.SubModel{
+		{Name: "M1 (47% sparse)", Cycles: 1.1e8, MaskBytes: 4096},
+		{Name: "M2 (70% sparse)", Cycles: 0.8e8, MaskBytes: 4096},
+		{Name: "M3 (80% sparse)", Cycles: 0.6e8, MaskBytes: 4096},
+	}
+	rec, err := rtswitch.NewReconfigurator(levels, subs, costs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nextReport := 0.9
+	runs := 0
+	for {
+		idx := gov.PickIndex(bat.Fraction())
+		if idx != rec.Current() {
+			ms, _ := rec.SwitchTo(idx)
+			fmt.Printf("  %5.1f%% charge: switch to %s + %s (%.2f ms)\n",
+				bat.Fraction()*100, levels[idx].Name, subs[idx].Name, ms)
+		}
+		sub := subs[rec.Current()]
+		level := levels[rec.Current()]
+		if !bat.Drain(power.InferenceEnergy(level, sub.Cycles)) {
+			break
+		}
+		runs++
+		if bat.Fraction() <= nextReport {
+			lat := sub.Cycles / level.FreqHz() * 1000
+			fmt.Printf("  %5.1f%% charge: %s at %s, latency %.1f ms, %d runs so far\n",
+				bat.Fraction()*100, sub.Name, level.Name, lat, runs)
+			nextReport -= 0.1
+		}
+	}
+	switches, switchMS := rec.Stats()
+	fmt.Printf("battery empty after %d inferences, %d switches (%.2f ms total switch time)\n",
+		runs, switches, switchMS)
+}

@@ -1,0 +1,305 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TaskKind distinguishes how a GLUE-style task is scored, following the
+// conventions of Wang et al. (2019) used by the paper: accuracy for
+// SST-2/QNLI/RTE/WNLI/MNLI, MCC for CoLA, F1 for QQP/MRPC and Spearman
+// correlation for STS-B.
+type TaskKind int
+
+// Task kinds.
+const (
+	KindAccuracy TaskKind = iota // argmax accuracy
+	KindF1                       // F1 on the positive class
+	KindMCC                      // Matthews correlation coefficient
+	KindSpearman                 // Spearman rank correlation (regression)
+)
+
+// String names the kind.
+func (k TaskKind) String() string {
+	switch k {
+	case KindAccuracy:
+		return "accuracy"
+	case KindF1:
+		return "F1"
+	case KindMCC:
+		return "MCC"
+	case KindSpearman:
+		return "Spearman"
+	}
+	return "unknown"
+}
+
+// Example is one classification or regression instance. Label is used by
+// classification tasks, Score by regression tasks.
+type Example struct {
+	Tokens []int
+	Label  int
+	Score  float64
+}
+
+// TaskSpec describes a synthetic GLUE-like task.
+type TaskSpec struct {
+	Name    string
+	Kind    TaskKind
+	Classes int // 1 for regression
+	Vocab   int
+	SeqLen  int
+}
+
+// Task bundles a spec with generated train/eval splits.
+type Task struct {
+	Spec  TaskSpec
+	Train []Example
+	Eval  []Example
+}
+
+// GLUETaskNames lists the nine benchmark tasks in the order of the
+// paper's Figure 5.
+var GLUETaskNames = []string{"MNLI", "QQP", "QNLI", "SST-2", "CoLA", "STS-B", "MRPC", "RTE", "WNLI"}
+
+// taskSpec returns the spec for a named task; vocabulary and lengths are
+// shared so one Classifier topology serves all tasks.
+func taskSpec(name string) TaskSpec {
+	s := TaskSpec{Name: name, Vocab: 48, SeqLen: 16, Classes: 2, Kind: KindAccuracy}
+	switch name {
+	case "MNLI":
+		s.Classes = 3
+	case "QQP", "MRPC":
+		s.Kind = KindF1
+	case "CoLA":
+		s.Kind = KindMCC
+	case "STS-B":
+		s.Kind = KindSpearman
+		s.Classes = 1
+	case "SST-2", "QNLI", "RTE", "WNLI":
+		// defaults
+	default:
+		panic(fmt.Sprintf("data: unknown GLUE task %q", name))
+	}
+	return s
+}
+
+// sep is the separator token between sentence pairs (token 0 is
+// reserved for it in every synthetic task).
+const sep = 0
+
+// GenerateTask builds a synthetic dataset for the named GLUE-style task
+// with nTrain training and nEval evaluation examples. Each task plants a
+// learnable decision rule (see the per-task generator comments).
+func GenerateTask(name string, nTrain, nEval int, seed int64) *Task {
+	spec := taskSpec(name)
+	rng := rand.New(rand.NewSource(seed))
+	gen := generatorFor(name)
+	t := &Task{Spec: spec}
+	for i := 0; i < nTrain; i++ {
+		t.Train = append(t.Train, gen(spec, rng))
+	}
+	for i := 0; i < nEval; i++ {
+		t.Eval = append(t.Eval, gen(spec, rng))
+	}
+	return t
+}
+
+type generator func(spec TaskSpec, rng *rand.Rand) Example
+
+func generatorFor(name string) generator {
+	switch name {
+	case "SST-2":
+		return genSentiment
+	case "CoLA":
+		return genAcceptability
+	case "QQP", "MRPC":
+		return genParaphrase
+	case "STS-B":
+		return genSimilarity
+	case "RTE", "QNLI", "WNLI":
+		return genEntailment2
+	case "MNLI":
+		return genEntailment3
+	}
+	panic(fmt.Sprintf("data: unknown GLUE task %q", name))
+}
+
+// genSentiment: tokens in [1, V/4) are "positive", [V/4, V/2) "negative",
+// the upper half neutral filler; the label is which polarity dominates.
+// Sentences are resampled until the margin is at least two words, so the
+// planted rule has low Bayes error and pruning-induced score drops are
+// attributable to the model, not the data.
+func genSentiment(spec TaskSpec, rng *rand.Rand) Example {
+	v := spec.Vocab
+	for {
+		toks := make([]int, spec.SeqLen)
+		pos, neg := 0, 0
+		for i := range toks {
+			switch rng.Intn(3) {
+			case 0: // positive word
+				toks[i] = 1 + rng.Intn(v/4-1)
+				pos++
+			case 1: // negative word
+				toks[i] = v/4 + rng.Intn(v/4)
+				neg++
+			default: // neutral filler
+				toks[i] = v/2 + rng.Intn(v/2)
+			}
+		}
+		if pos-neg >= 2 {
+			return Example{Tokens: toks, Label: 1}
+		}
+		if neg-pos >= 2 {
+			return Example{Tokens: toks, Label: 0}
+		}
+	}
+}
+
+// genAcceptability: the planted grammar reserves [V/2, 3V/4) as "taboo"
+// word forms; a sentence is grammatical (label 1) iff it contains none
+// of them. Ungrammatical sentences plant one to three taboo tokens.
+func genAcceptability(spec TaskSpec, rng *rand.Rand) Example {
+	v := spec.Vocab
+	toks := make([]int, spec.SeqLen)
+	label := rng.Intn(2)
+	for i := range toks {
+		// grammatical vocabulary: [1, v/2) plus the benign top quarter
+		if rng.Intn(2) == 0 {
+			toks[i] = 1 + rng.Intn(v/2-1)
+		} else {
+			toks[i] = 3*v/4 + rng.Intn(v/4)
+		}
+	}
+	if label == 0 {
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			toks[rng.Intn(spec.SeqLen)] = v/2 + rng.Intn(v/4)
+		}
+	}
+	return Example{Tokens: toks, Label: label}
+}
+
+// genParaphrase: the first sentence draws from the content vocabulary
+// [1, V/2); a paraphrase (label 1) is a permutation of it, while a
+// non-paraphrase replaces half the words with out-of-topic tokens from
+// the upper vocabulary range.
+func genParaphrase(spec TaskSpec, rng *rand.Rand) Example {
+	half := (spec.SeqLen - 1) / 2
+	v := spec.Vocab
+	a := make([]int, half)
+	for i := range a {
+		a[i] = 1 + rng.Intn(v/2-1)
+	}
+	label := rng.Intn(2)
+	b := make([]int, half)
+	perm := rng.Perm(half)
+	for i, p := range perm {
+		b[i] = a[p]
+	}
+	if label == 0 {
+		for _, i := range rng.Perm(half)[:(half+1)/2] {
+			b[i] = v/2 + rng.Intn(v/2)
+		}
+	}
+	toks := append(append(append([]int{}, a...), sep), b...)
+	return Example{Tokens: toks, Label: label}
+}
+
+// genSimilarity: STS-B-style regression. The first sentence draws from
+// the content vocabulary [1, V/2); the second shares k of its tokens and
+// fills the rest from the disjoint upper range, so the score 5*k/half is
+// the scaled token overlap between the two halves.
+func genSimilarity(spec TaskSpec, rng *rand.Rand) Example {
+	half := (spec.SeqLen - 1) / 2
+	v := spec.Vocab
+	a := make([]int, half)
+	for i := range a {
+		a[i] = 1 + rng.Intn(v/2-1)
+	}
+	k := rng.Intn(half + 1)
+	b := make([]int, half)
+	perm := rng.Perm(half)
+	for i := 0; i < half; i++ {
+		if i < k {
+			b[i] = a[perm[i]]
+		} else {
+			b[i] = v/2 + rng.Intn(v/2)
+		}
+	}
+	rng.Shuffle(half, func(i, j int) { b[i], b[j] = b[j], b[i] })
+	overlap := tokenOverlap(a, b)
+	toks := append(append(append([]int{}, a...), sep), b...)
+	return Example{Tokens: toks, Score: 5 * overlap}
+}
+
+// genEntailment2: premise/hypothesis pairs; entailment (label 1) when at
+// least 80% of hypothesis tokens appear in the premise.
+func genEntailment2(spec TaskSpec, rng *rand.Rand) Example {
+	ex := entailmentPair(spec, rng)
+	if ex.Score >= 0.8 {
+		ex.Label = 1
+	} else {
+		ex.Label = 0
+	}
+	ex.Score = 0
+	return ex
+}
+
+// genEntailment3: MNLI-style 3-way labels from the overlap fraction:
+// >=0.8 entail (0), 0.3..0.8 neutral (1), <0.3 contradiction (2).
+func genEntailment3(spec TaskSpec, rng *rand.Rand) Example {
+	ex := entailmentPair(spec, rng)
+	switch {
+	case ex.Score >= 0.8:
+		ex.Label = 0
+	case ex.Score >= 0.3:
+		ex.Label = 1
+	default:
+		ex.Label = 2
+	}
+	ex.Score = 0
+	return ex
+}
+
+// entailmentPair builds premise|sep|hypothesis with a controlled overlap
+// fraction recorded in Score: premises draw from the content vocabulary
+// [1, V/2) and non-overlapping hypothesis tokens from the disjoint upper
+// range, so the overlap fraction is unambiguous.
+func entailmentPair(spec TaskSpec, rng *rand.Rand) Example {
+	half := (spec.SeqLen - 1) / 2
+	v := spec.Vocab
+	prem := make([]int, half)
+	for i := range prem {
+		prem[i] = 1 + rng.Intn(v/2-1)
+	}
+	k := rng.Intn(half + 1) // tokens of the hypothesis drawn from the premise
+	hyp := make([]int, half)
+	for i := range hyp {
+		if i < k {
+			hyp[i] = prem[rng.Intn(half)]
+		} else {
+			hyp[i] = v/2 + rng.Intn(v/2)
+		}
+	}
+	rng.Shuffle(half, func(i, j int) { hyp[i], hyp[j] = hyp[j], hyp[i] })
+	toks := append(append(append([]int{}, prem...), sep), hyp...)
+	return Example{Tokens: toks, Score: tokenOverlap(prem, hyp)}
+}
+
+// tokenOverlap returns the fraction of b's tokens present in a.
+func tokenOverlap(a, b []int) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	set := make(map[int]bool, len(a))
+	for _, t := range a {
+		set[t] = true
+	}
+	n := 0
+	for _, t := range b {
+		if set[t] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(b))
+}

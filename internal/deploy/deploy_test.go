@@ -1,0 +1,154 @@
+package deploy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rt3/internal/pattern"
+)
+
+func sampleBundle(seed int64) *Bundle {
+	rng := rand.New(rand.NewSource(seed))
+	w := WeightMatrix{Name: "enc.0.wq.W", Rows: 4, Cols: 6, Data: make([]float64, 24)}
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	return &Bundle{
+		Weights:    []WeightMatrix{w},
+		Sets:       []*pattern.Set{pattern.RandomSet(4, 0.5, 2, rng), pattern.RandomSet(4, 0.75, 2, rng)},
+		LevelNames: []string{"l6", "l3"},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		b := sampleBundle(seed)
+		data, err := b.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		if len(got.Weights) != 1 || got.Weights[0].Name != "enc.0.wq.W" {
+			return false
+		}
+		for i, v := range got.Weights[0].Data {
+			if v != b.Weights[0].Data[i] {
+				return false
+			}
+		}
+		if len(got.Sets) != 2 || got.LevelNames[1] != "l3" {
+			return false
+		}
+		for si, s := range got.Sets {
+			for pi, p := range s.Patterns {
+				if !p.Equal(b.Sets[si].Patterns[pi]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteToReportsBytes(t *testing.T) {
+	b := sampleBundle(1)
+	var buf bytes.Buffer
+	n, err := b.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	b := sampleBundle(2)
+	b.LevelNames = b.LevelNames[:1]
+	if err := b.Validate(); err == nil {
+		t.Fatal("mismatched level names accepted")
+	}
+	b = sampleBundle(3)
+	b.Sets = nil
+	b.LevelNames = nil
+	if err := b.Validate(); err == nil {
+		t.Fatal("empty bundle accepted")
+	}
+	b = sampleBundle(4)
+	b.Weights[0].Data = b.Weights[0].Data[:5]
+	if err := b.Validate(); err == nil {
+		t.Fatal("short weight data accepted")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		bytes.Repeat([]byte{0xff}, 64),
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagicAndVersion(t *testing.T) {
+	b := sampleBundle(5)
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte{}, data...)
+	bad[0] ^= 0xff
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad = append([]byte{}, data...)
+	bad[4] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	b := sampleBundle(6)
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(data) / 4, len(data) / 2, len(data) - 1} {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestSetBytesTiny(t *testing.T) {
+	b := sampleBundle(7)
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.SetBytes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the run-time switch section must be a small fraction of the bundle
+	// (weights dominate) — the paper's lightweight-switch property.
+	if n*4 > len(data) {
+		t.Fatalf("set section %dB not small vs bundle %dB", n, len(data))
+	}
+	if _, err := b.SetBytes(9); err == nil {
+		t.Fatal("out-of-range set accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Package hwsim is the performance predictor of RT3 (component ④): an
+// analytic cycle model for executing dense and sparse Transformer
+// weights on a mobile core, in the spirit of the PatDNN compiler's
+// execution-cycle prediction the paper relies on. The model captures the
+// relative cost ordering that drives every experiment: at equal
+// sparsity, pattern-based execution is cheapest (compiler-regularized
+// inner loops), block-structured is close, and irregular COO pays heavy
+// per-element index overhead.
+package hwsim
+
+import (
+	"fmt"
+
+	"rt3/internal/dvfs"
+	"rt3/internal/prune"
+)
+
+// CostModel holds the per-format microarchitectural constants.
+type CostModel struct {
+	// CyclesPerMAC is the baseline multiply-accumulate cost for dense
+	// regular loops (fractional: amortized over SIMD lanes).
+	CyclesPerMAC float64
+	// Overhead multiplies CyclesPerMAC for each format's nonzeros.
+	OverheadDense   float64
+	OverheadCOO     float64 // gather + index arithmetic per element
+	OverheadBlock   float64 // near-regular inner loops
+	OverheadPattern float64 // PatDNN-style compiler-reordered loops
+	// CyclesPerIndexWord is the cost of streaming one index word.
+	CyclesPerIndexWord float64
+	// MemWordsPerCycle is sustained off-chip bandwidth in words/cycle;
+	// weight traffic adds TotalWords / MemWordsPerCycle cycles.
+	MemWordsPerCycle float64
+	// FixedCycles models per-inference constant work (activations,
+	// softmax, layernorm) that pruning does not remove.
+	FixedCycles float64
+}
+
+// DefaultCostModel returns constants calibrated so the laptop-scale
+// models land in the paper's latency regime (tens to hundreds of ms) on
+// the Odroid-XU3 frequency range.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		CyclesPerMAC:       0.5, // 2-wide NEON MAC
+		OverheadDense:      1.0,
+		OverheadCOO:        3.2,
+		OverheadBlock:      1.15,
+		OverheadPattern:    1.05,
+		CyclesPerIndexWord: 0.6,
+		MemWordsPerCycle:   0.25,
+		FixedCycles:        5000,
+	}
+}
+
+// LayerShape describes one weight matrix and how many times each weight
+// participates in a MAC per inference (the sequence length for a
+// Transformer projection).
+type LayerShape struct {
+	Rows, Cols int
+	Reuse      int // MACs per weight per inference (e.g. sequence length)
+}
+
+// MACs returns dense multiply-accumulates for the layer per inference.
+func (l LayerShape) MACs() float64 { return float64(l.Rows*l.Cols) * float64(l.Reuse) }
+
+// LayerCycles returns the execution cycles of one layer at the given
+// sparsity under the chosen format. cost captures storage traffic.
+func (m CostModel) LayerCycles(shape LayerShape, sparsity float64, format prune.Format, cost prune.StorageCost) float64 {
+	density := 1 - sparsity
+	if density < 0 {
+		density = 0
+	}
+	var overhead float64
+	switch format {
+	case prune.FormatDense:
+		overhead = m.OverheadDense
+		density = 1 // dense executes every position
+	case prune.FormatCOO:
+		overhead = m.OverheadCOO
+	case prune.FormatBlockStructured:
+		overhead = m.OverheadBlock
+	case prune.FormatPattern:
+		overhead = m.OverheadPattern
+	default:
+		panic(fmt.Sprintf("hwsim: unknown format %v", format))
+	}
+	compute := shape.MACs() * density * m.CyclesPerMAC * overhead
+	index := float64(cost.Indices) * m.CyclesPerIndexWord
+	mem := float64(cost.TotalWords) / m.MemWordsPerCycle
+	return compute + index + mem
+}
+
+// ModelProfile aggregates the cycles of a whole model.
+type ModelProfile struct {
+	Cycles      float64
+	DenseMACs   float64
+	StoredWords int
+}
+
+// Layer adds one layer's contribution to the profile.
+func (p *ModelProfile) add(cycles, macs float64, words int) {
+	p.Cycles += cycles
+	p.DenseMACs += macs
+	p.StoredWords += words
+}
+
+// Profile sums cycles over a set of layers at a uniform sparsity and
+// format; costs must align one-to-one with shapes.
+func (m CostModel) Profile(shapes []LayerShape, sparsities []float64, format prune.Format, costs []prune.StorageCost) ModelProfile {
+	if len(shapes) != len(sparsities) || len(shapes) != len(costs) {
+		panic("hwsim: Profile slice lengths differ")
+	}
+	var p ModelProfile
+	for i, s := range shapes {
+		cy := m.LayerCycles(s, sparsities[i], format, costs[i])
+		p.add(cy, s.MACs(), costs[i].TotalWords)
+	}
+	p.Cycles += m.FixedCycles
+	return p
+}
+
+// LatencyMS converts cycles at a V/F level into milliseconds.
+func LatencyMS(cycles float64, level dvfs.Level) float64 {
+	return cycles / level.FreqHz() * 1000
+}
+
+// NumRuns returns how many inferences of the given cycle count a battery
+// budget (joules) sustains at level l under the power model.
+func NumRuns(budgetJ float64, pm dvfs.PowerModel, l dvfs.Level, cycles float64) float64 {
+	e := pm.InferenceEnergy(l, cycles)
+	if e <= 0 {
+		return 0
+	}
+	return budgetJ / e
+}

@@ -1,0 +1,98 @@
+package mat
+
+import "math"
+
+// Dot returns the inner product of a and b; the slices must have equal
+// length (enforced by panic, as a programming error).
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// L2 returns the Euclidean norm of v.
+func L2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Softmax writes a numerically stable softmax of src into dst (they may
+// alias). It panics if the lengths differ.
+func Softmax(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("mat: Softmax length mismatch")
+	}
+	maxv := src[0]
+	for _, v := range src[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(v - maxv)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// Argmax returns the index of the largest element of v (first on ties).
+func Argmax(v []float64) int {
+	best, bv := 0, v[0]
+	for i, x := range v[1:] {
+		if x > bv {
+			bv = x
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// Mean returns the arithmetic mean of v (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of v (0 for empty input).
+func Variance(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// Clamp limits x to the interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

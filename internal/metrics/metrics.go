@@ -1,0 +1,131 @@
+// Package metrics implements the GLUE evaluation conventions used by the
+// paper (Wang et al., 2019): accuracy, F1 on the positive class,
+// Matthews correlation coefficient and Spearman rank correlation.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Accuracy returns the fraction of matching predictions.
+func Accuracy(pred, gold []int) float64 {
+	if len(pred) != len(gold) {
+		panic("metrics: Accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	n := 0
+	for i, p := range pred {
+		if p == gold[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(pred))
+}
+
+// F1 returns the F1 score of the positive class (label 1).
+func F1(pred, gold []int) float64 {
+	if len(pred) != len(gold) {
+		panic("metrics: F1 length mismatch")
+	}
+	var tp, fp, fn int
+	for i, p := range pred {
+		switch {
+		case p == 1 && gold[i] == 1:
+			tp++
+		case p == 1 && gold[i] != 1:
+			fp++
+		case p != 1 && gold[i] == 1:
+			fn++
+		}
+	}
+	if 2*tp+fp+fn == 0 {
+		return 0
+	}
+	return float64(2*tp) / float64(2*tp+fp+fn)
+}
+
+// MCC returns the Matthews correlation coefficient for binary labels.
+func MCC(pred, gold []int) float64 {
+	if len(pred) != len(gold) {
+		panic("metrics: MCC length mismatch")
+	}
+	var tp, tn, fp, fn float64
+	for i, p := range pred {
+		switch {
+		case p == 1 && gold[i] == 1:
+			tp++
+		case p == 0 && gold[i] == 0:
+			tn++
+		case p == 1 && gold[i] == 0:
+			fp++
+		default:
+			fn++
+		}
+	}
+	den := math.Sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+	if den == 0 {
+		return 0
+	}
+	return (tp*tn - fp*fn) / den
+}
+
+// PearsonR returns the Pearson correlation of x and y.
+func PearsonR(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("metrics: PearsonR length mismatch")
+	}
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// SpearmanRho returns the Spearman rank correlation of x and y, with
+// average ranks for ties.
+func SpearmanRho(x, y []float64) float64 {
+	return PearsonR(ranks(x), ranks(y))
+}
+
+// ranks converts values to average fractional ranks.
+func ranks(v []float64) []float64 {
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracy(t *testing.T) {
+	if Accuracy([]int{1, 0, 1}, []int{1, 1, 1}) != 2.0/3 {
+		t.Fatal("Accuracy wrong")
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestF1Known(t *testing.T) {
+	// tp=2 fp=1 fn=1 -> F1 = 4/6
+	pred := []int{1, 1, 1, 0, 0}
+	gold := []int{1, 1, 0, 1, 0}
+	if got := F1(pred, gold); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("F1 = %g", got)
+	}
+}
+
+func TestF1Perfect(t *testing.T) {
+	if F1([]int{1, 0, 1}, []int{1, 0, 1}) != 1 {
+		t.Fatal("perfect F1 != 1")
+	}
+	if F1([]int{0, 0}, []int{0, 0}) != 0 {
+		t.Fatal("no-positive F1 should be 0 by convention")
+	}
+}
+
+func TestMCCKnown(t *testing.T) {
+	// perfect prediction -> 1; inverted -> -1
+	if got := MCC([]int{1, 0, 1, 0}, []int{1, 0, 1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect MCC = %g", got)
+	}
+	if got := MCC([]int{0, 1, 0, 1}, []int{1, 0, 1, 0}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("inverted MCC = %g", got)
+	}
+	if got := MCC([]int{1, 1, 1}, []int{1, 1, 1}); got != 0 {
+		t.Fatalf("degenerate MCC = %g (zero denominator convention)", got)
+	}
+}
+
+func TestPearsonRPerfectLinear(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	if got := PearsonR(x, y); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("PearsonR = %g", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := PearsonR(x, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("PearsonR = %g", got)
+	}
+}
+
+func TestSpearmanInvariantToMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = math.Exp(x[i]) // monotone transform: rank order preserved
+		}
+		return math.Abs(SpearmanRho(x, y)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	x := []float64{1, 1, 2, 3}
+	y := []float64{1, 1, 2, 3}
+	if got := SpearmanRho(x, y); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("tied Spearman = %g", got)
+	}
+}
+
+func TestCorrelationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		p := PearsonR(x, y)
+		s := SpearmanRho(x, y)
+		return p >= -1-1e-9 && p <= 1+1e-9 && s >= -1-1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Accuracy": func() { Accuracy([]int{1}, []int{1, 2}) },
+		"F1":       func() { F1([]int{1}, []int{1, 2}) },
+		"MCC":      func() { MCC([]int{1}, []int{1, 2}) },
+		"Pearson":  func() { PearsonR([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

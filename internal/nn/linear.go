@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rt3/internal/mat"
+)
+
+// Linear is a fully connected layer computing Y = X @ W + b, where X is
+// batch x in, W is in x out and b is 1 x out.
+type Linear struct {
+	In, Out int
+	W       *Parameter
+	B       *Parameter
+
+	// cached forward input for the backward pass
+	x *mat.Matrix
+}
+
+// NewLinear creates a Linear layer with Xavier-initialized weights.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		In:  in,
+		Out: out,
+		W:   NewParameter(name+".W", in, out),
+		B:   NewParameter(name+".b", 1, out),
+	}
+	l.W.Value.RandomizeXavier(rng, in, out)
+	return l
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*Parameter { return []*Parameter{l.W, l.B} }
+
+// Forward computes the affine map for a batch x In input.
+func (l *Linear) Forward(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("nn: Linear %s input cols %d != in %d", l.W.Name, x.Cols, l.In))
+	}
+	l.x = x
+	y := mat.New(x.Rows, l.Out)
+	mat.MatMul(y, x, l.W.Value)
+	y.AddRowVector(l.B.Value.Data)
+	return y
+}
+
+// Backward accumulates dL/dW and dL/db from the upstream gradient and
+// returns dL/dX. Forward must have been called first.
+func (l *Linear) Backward(dy *mat.Matrix) *mat.Matrix {
+	if l.x == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	// dW += x^T @ dy
+	dw := mat.New(l.In, l.Out)
+	mat.MatMulTA(dw, l.x, dy)
+	l.W.Grad.Add(dw)
+	// db += column sums of dy
+	for i := 0; i < dy.Rows; i++ {
+		row := dy.Row(i)
+		for j, v := range row {
+			l.B.Grad.Data[j] += v
+		}
+	}
+	// dx = dy @ W^T
+	dx := mat.New(dy.Rows, l.In)
+	mat.MatMulT(dx, dy, l.W.Value)
+	return dx
+}
+
+// Embedding maps token ids to d-dimensional rows of a learned table.
+type Embedding struct {
+	Vocab, Dim int
+	W          *Parameter
+
+	ids []int
+}
+
+// NewEmbedding creates an embedding table with small random init.
+func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
+	e := &Embedding{Vocab: vocab, Dim: dim, W: NewParameter(name+".W", vocab, dim)}
+	e.W.Value.Randomize(rng, 0.1)
+	return e
+}
+
+// Params implements Module.
+func (e *Embedding) Params() []*Parameter { return []*Parameter{e.W} }
+
+// Forward gathers rows for ids into a len(ids) x Dim matrix.
+func (e *Embedding) Forward(ids []int) *mat.Matrix {
+	e.ids = ids
+	out := mat.New(len(ids), e.Dim)
+	for i, id := range ids {
+		if id < 0 || id >= e.Vocab {
+			panic(fmt.Sprintf("nn: Embedding id %d out of vocab %d", id, e.Vocab))
+		}
+		copy(out.Row(i), e.W.Value.Row(id))
+	}
+	return out
+}
+
+// Backward scatters the upstream gradient back into the table rows.
+func (e *Embedding) Backward(dy *mat.Matrix) {
+	for i, id := range e.ids {
+		grow := e.W.Grad.Row(id)
+		drow := dy.Row(i)
+		for j, v := range drow {
+			grow[j] += v
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"rt3/internal/mat"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy between row-wise
+// softmax(logits) and the integer targets, returning the loss and the
+// gradient dL/dlogits (already divided by the batch size).
+func SoftmaxCrossEntropy(logits *mat.Matrix, targets []int) (float64, *mat.Matrix) {
+	if logits.Rows != len(targets) {
+		panic(fmt.Sprintf("nn: CE rows %d != targets %d", logits.Rows, len(targets)))
+	}
+	probs := logits.Clone()
+	probs.SoftmaxRows()
+	var loss float64
+	grad := probs.Clone()
+	invB := 1 / float64(logits.Rows)
+	for i, t := range targets {
+		if t < 0 || t >= logits.Cols {
+			panic(fmt.Sprintf("nn: CE target %d out of range %d", t, logits.Cols))
+		}
+		p := probs.At(i, t)
+		loss -= math.Log(math.Max(p, 1e-12))
+		grad.Set(i, t, grad.At(i, t)-1)
+	}
+	grad.Scale(invB)
+	return loss * invB, grad
+}
+
+// MSELoss computes mean squared error between pred (batch x 1) and the
+// targets, returning the loss and dL/dpred.
+func MSELoss(pred *mat.Matrix, targets []float64) (float64, *mat.Matrix) {
+	if pred.Rows != len(targets) || pred.Cols != 1 {
+		panic(fmt.Sprintf("nn: MSE pred %dx%d vs %d targets", pred.Rows, pred.Cols, len(targets)))
+	}
+	grad := mat.New(pred.Rows, 1)
+	var loss float64
+	invB := 1 / float64(pred.Rows)
+	for i, t := range targets {
+		d := pred.At(i, 0) - t
+		loss += d * d
+		grad.Set(i, 0, 2*d*invB)
+	}
+	return loss * invB, grad
+}
+
+// AccuracyFromLogits returns the fraction of rows whose argmax equals the
+// target label.
+func AccuracyFromLogits(logits *mat.Matrix, targets []int) float64 {
+	if logits.Rows == 0 {
+		return 0
+	}
+	correct := 0
+	for i, t := range targets {
+		if logits.ArgmaxRow(i) == t {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(targets))
+}

@@ -1,0 +1,364 @@
+package prune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rt3/internal/mat"
+)
+
+func randomMatrix(rows, cols int, seed int64) *mat.Matrix {
+	m := mat.New(rows, cols)
+	m.Randomize(rand.New(rand.NewSource(seed)), 1)
+	return m
+}
+
+func TestBlockPruneThresholdRemovesWeakColumns(t *testing.T) {
+	// column 1 is tiny in both blocks -> fully pruned
+	w := mat.FromSlice(4, 3, []float64{
+		1, 0.001, 2,
+		1, 0.001, 2,
+		1, 0.001, 2,
+		1, 0.001, 2,
+	})
+	mask, err := BlockPrune(w, BPConfig{Blocks: 2, Direction: ColumnsInRowBlocks, Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if mask.At(i, 1) != 0 {
+			t.Fatal("weak column survived")
+		}
+		if mask.At(i, 0) != 1 || mask.At(i, 2) != 1 {
+			t.Fatal("strong column pruned")
+		}
+	}
+}
+
+func TestBlockPrunePerBlockIndependence(t *testing.T) {
+	// column 0 weak only in the second block
+	w := mat.FromSlice(4, 2, []float64{
+		5, 5,
+		5, 5,
+		0.001, 5,
+		0.001, 5,
+	})
+	mask, err := BlockPrune(w, BPConfig{Blocks: 2, Direction: ColumnsInRowBlocks, Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask.At(0, 0) != 1 || mask.At(1, 0) != 1 {
+		t.Fatal("block 1 column 0 should survive")
+	}
+	if mask.At(2, 0) != 0 || mask.At(3, 0) != 0 {
+		t.Fatal("block 2 column 0 should be pruned")
+	}
+}
+
+func TestBlockPruneRowsInColBlocks(t *testing.T) {
+	w := mat.FromSlice(3, 4, []float64{
+		5, 5, 5, 5,
+		0.001, 0.001, 0.001, 0.001,
+		5, 5, 5, 5,
+	})
+	mask, err := BlockPrune(w, BPConfig{Blocks: 2, Direction: RowsInColBlocks, Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		if mask.At(1, j) != 0 {
+			t.Fatal("weak row survived")
+		}
+		if mask.At(0, j) != 1 {
+			t.Fatal("strong row pruned")
+		}
+	}
+}
+
+func TestBlockPrunePercentileSparsity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 4 + r.Intn(12)
+		cols := 4 + r.Intn(12)
+		w := mat.New(rows, cols)
+		w.Randomize(r, 1)
+		pct := 0.25 + 0.5*r.Float64()
+		mask, err := BlockPrune(w, BPConfig{Blocks: 2, Direction: ColumnsInRowBlocks, Percentile: pct})
+		if err != nil {
+			return false
+		}
+		sp := mask.Sparsity()
+		// group quantization means sparsity is within one group of pct
+		return sp > pct-2.0/float64(cols)-1e-9 && sp < pct+2.0/float64(cols)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockPruneMaskIsBlockStructured(t *testing.T) {
+	// property: within each block, each column is all-kept or all-pruned
+	f := func(seed int64) bool {
+		w := randomMatrix(8, 6, seed)
+		cfg := BPConfig{Blocks: 2, Direction: ColumnsInRowBlocks, Percentile: 0.5}
+		mask, err := BlockPrune(w, cfg)
+		if err != nil {
+			return false
+		}
+		for _, b := range blockBounds(8, 2) {
+			for j := 0; j < 6; j++ {
+				first := mask.At(b[0], j)
+				for i := b[0]; i < b[1]; i++ {
+					if mask.At(i, j) != first {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockPruneValidation(t *testing.T) {
+	if _, err := BlockPrune(mat.New(2, 2), BPConfig{Blocks: 0}); err == nil {
+		t.Fatal("expected error for Blocks=0")
+	}
+	if _, err := BlockPrune(mat.New(2, 2), BPConfig{Blocks: 1, Percentile: 1.5}); err == nil {
+		t.Fatal("expected error for Percentile>1")
+	}
+	if _, err := BlockPrune(mat.New(2, 2), BPConfig{Blocks: 1, Threshold: -1}); err == nil {
+		t.Fatal("expected error for negative threshold")
+	}
+}
+
+func TestRandomBlockPruneSameBudget(t *testing.T) {
+	w := randomMatrix(16, 12, 7)
+	cfg := BPConfig{Blocks: 4, Direction: ColumnsInRowBlocks, Percentile: 0.5}
+	bp, err := BlockPrune(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbp, err := RandomBlockPrune(w, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bp.Sparsity()-rbp.Sparsity()) > 1e-9 {
+		t.Fatalf("rBP sparsity %g != BP sparsity %g", rbp.Sparsity(), bp.Sparsity())
+	}
+}
+
+func TestRandomBlockPruneKeepsMoreImportantWeightsLessOften(t *testing.T) {
+	// BP must retain strictly more weight mass than rBP on average.
+	w := randomMatrix(20, 20, 8)
+	cfg := BPConfig{Blocks: 4, Direction: ColumnsInRowBlocks, Percentile: 0.5}
+	bp, _ := BlockPrune(w, cfg)
+	kept := func(mask *mat.Matrix) float64 {
+		m := w.Clone()
+		m.Hadamard(mask)
+		return m.Norm()
+	}
+	bpNorm := kept(bp)
+	rng := rand.New(rand.NewSource(2))
+	var rbpNorm float64
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		rbp, _ := RandomBlockPrune(w, cfg, rng)
+		rbpNorm += kept(rbp)
+	}
+	rbpNorm /= trials
+	if bpNorm <= rbpNorm {
+		t.Fatalf("BP retained norm %g <= rBP %g", bpNorm, rbpNorm)
+	}
+}
+
+func TestBlockBoundsCoverExactly(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		k := 1 + r.Intn(10)
+		covered := 0
+		prev := 0
+		for _, b := range blockBounds(n, k) {
+			if b[0] != prev || b[1] <= b[0] {
+				return false
+			}
+			covered += b[1] - b[0]
+			prev = b[1]
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupLassoPenaltyAndGrad(t *testing.T) {
+	w := mat.FromSlice(2, 2, []float64{3, 0, 4, 0})
+	gl := NewGroupLasso(BPConfig{Blocks: 1, Direction: ColumnsInRowBlocks}, 0.1)
+	// one block, column norms: col0=5, col1=0 -> penalty 0.1*5
+	if p := gl.Penalty(w); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("penalty = %g", p)
+	}
+	grad := mat.New(2, 2)
+	gl.AddGrad(grad, w)
+	// d||col0||/dw = w/||col0||: (3/5, 4/5) * 0.1
+	if math.Abs(grad.At(0, 0)-0.06) > 1e-12 || math.Abs(grad.At(1, 0)-0.08) > 1e-12 {
+		t.Fatalf("grad = %v", grad.Data)
+	}
+	if grad.At(0, 1) != 0 {
+		t.Fatal("zero group should have zero subgradient")
+	}
+}
+
+func TestGroupLassoGradMatchesNumeric(t *testing.T) {
+	w := randomMatrix(6, 4, 9)
+	gl := NewGroupLasso(BPConfig{Blocks: 2, Direction: ColumnsInRowBlocks}, 0.05)
+	gl.Reweight(w)
+	grad := mat.New(6, 4)
+	gl.AddGrad(grad, w)
+	const h = 1e-6
+	for i := range w.Data {
+		orig := w.Data[i]
+		w.Data[i] = orig + h
+		lp := gl.Penalty(w)
+		w.Data[i] = orig - h
+		lm := gl.Penalty(w)
+		w.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-grad.Data[i]) > 1e-5 {
+			t.Fatalf("lasso grad[%d]: numeric %g vs analytic %g", i, num, grad.Data[i])
+		}
+	}
+}
+
+func TestGroupLassoReweightBoostsSmallGroups(t *testing.T) {
+	w := mat.FromSlice(1, 2, []float64{10, 0.01})
+	gl := NewGroupLasso(BPConfig{Blocks: 1, Direction: ColumnsInRowBlocks}, 1)
+	gl.Reweight(w)
+	grad := mat.New(1, 2)
+	gl.AddGrad(grad, w)
+	// relative pressure on the small group must exceed the large group
+	rel0 := math.Abs(grad.At(0, 0)) / 10
+	rel1 := math.Abs(grad.At(0, 1)) / 0.01
+	if rel1 <= rel0 {
+		t.Fatalf("reweighting failed: rel pressure %g <= %g", rel1, rel0)
+	}
+}
+
+func TestShrinkSmallGroups(t *testing.T) {
+	w := mat.FromSlice(2, 2, []float64{5, 0.001, 5, 0.001})
+	gl := NewGroupLasso(BPConfig{Blocks: 1, Direction: ColumnsInRowBlocks}, 1)
+	n := gl.ShrinkSmallGroups(w, 0.01)
+	if n != 1 {
+		t.Fatalf("shrunk %d groups", n)
+	}
+	if w.At(0, 1) != 0 || w.At(1, 1) != 0 {
+		t.Fatal("small group not zeroed")
+	}
+	if w.At(0, 0) != 5 {
+		t.Fatal("large group modified")
+	}
+}
+
+func TestStorageCostOrdering(t *testing.T) {
+	// At 50% block-structured sparsity: block storage must be far
+	// smaller than COO, which must be smaller than dense*3.
+	w := randomMatrix(32, 32, 10)
+	cfg := BPConfig{Blocks: 4, Direction: ColumnsInRowBlocks, Percentile: 0.5}
+	mask, _ := BlockPrune(w, cfg)
+	coo := CostCOO(mask)
+	blk := CostBlockStructured(mask, cfg)
+	dense := CostDense(w)
+	if blk.TotalWords >= coo.TotalWords {
+		t.Fatalf("block %d >= COO %d words", blk.TotalWords, coo.TotalWords)
+	}
+	if blk.TotalWords >= dense.TotalWords {
+		t.Fatalf("block %d >= dense %d words", blk.TotalWords, dense.TotalWords)
+	}
+	if coo.Values != mask.NNZ() || coo.Indices != 2*mask.NNZ() {
+		t.Fatal("COO accounting wrong")
+	}
+}
+
+func TestCostPatternAccounting(t *testing.T) {
+	mask := mat.New(16, 16)
+	mask.Fill(1)
+	c := CostPattern(mask, 8, 4)
+	if c.Values != 256 {
+		t.Fatalf("values %d", c.Values)
+	}
+	// 4 blocks of 8x8 -> 4 ids; 4 patterns * 1 word each
+	if c.Indices != 4+4 {
+		t.Fatalf("indices %d", c.Indices)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	if CompressionRatio(0.5) != 2 {
+		t.Fatal("0.5 sparsity should be 2x")
+	}
+	if !math.IsInf(CompressionRatio(1), 1) {
+		t.Fatal("full sparsity should be +Inf")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	names := map[Format]string{FormatDense: "dense", FormatCOO: "COO", FormatBlockStructured: "block", FormatPattern: "pattern"}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("%v", f)
+		}
+	}
+}
+
+func TestBothDirectionsPruneStructure(t *testing.T) {
+	w := randomMatrix(16, 16, 20)
+	cfg := BPConfig{Blocks: 2, Percentile: 0.5}
+	mask, err := BothDirectionsPrune(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := mask.Sparsity()
+	if sp < 0.3 || sp > 0.7 {
+		t.Fatalf("combined sparsity %g far from 0.5 target", sp)
+	}
+	// the mask must be the intersection of a column-structured and a
+	// row-structured mask: verify it is contained in each pass's mask
+	half := cfg
+	half.Percentile = 1 - math.Sqrt(1-cfg.Percentile)
+	colCfg := half
+	colCfg.Direction = ColumnsInRowBlocks
+	colMask, _ := BlockPrune(w, colCfg)
+	for i, v := range mask.Data {
+		if v == 1 && colMask.Data[i] == 0 {
+			t.Fatal("combined mask keeps a weight the column pass pruned")
+		}
+	}
+}
+
+func TestBothDirectionsPruneValidation(t *testing.T) {
+	if _, err := BothDirectionsPrune(mat.New(4, 4), BPConfig{Blocks: 0}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestBothDirectionsSparserThanSinglePass(t *testing.T) {
+	// with the same per-pass percentile, AND-ing two passes prunes more
+	w := randomMatrix(20, 20, 21)
+	single, err := BlockPrune(w, BPConfig{Blocks: 2, Direction: ColumnsInRowBlocks, Percentile: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := BothDirectionsPrune(w, BPConfig{Blocks: 2, Percentile: 0.51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Sparsity() <= single.Sparsity() {
+		t.Fatalf("both-direction sparsity %g <= single %g", both.Sparsity(), single.Sparsity())
+	}
+}

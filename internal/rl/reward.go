@@ -1,0 +1,113 @@
+package rl
+
+// RewardInput carries the per-level measurements that Eq. (1) of the
+// paper combines into a scalar reward.
+type RewardInput struct {
+	// LatencyMS[i] is the predicted latency of pattern set i at V/F
+	// level i; Runs[i] the corresponding number of runs.
+	LatencyMS []float64
+	Runs      []float64
+	// Acc[i] is the fine-tuned accuracy of pattern set i (only valid
+	// when every latency met the constraint).
+	Acc []float64
+
+	TimingConstraintMS float64
+	// Weights alpha_i for the weighted accuracy A_w; uniform when nil.
+	Weights []float64
+	// AccOriginal is A_o, the accuracy of the Level-1 backbone model C.
+	AccOriginal float64
+	// AccMin is A_m, the pre-set lowest acceptable accuracy.
+	AccMin float64
+	// Penalty pen applied when the monotonicity condition fails.
+	Penalty float64
+	// RunsNorm normalizes the summed runs into [0, 1] (R_runs).
+	RunsNorm float64
+}
+
+// RewardResult breaks the reward into its parts for logging.
+type RewardResult struct {
+	Reward      float64
+	RRuns       float64
+	WeightedAcc float64
+	TimingMet   bool
+	CondHolds   bool // acc_i > acc_j for i < j (faster levels more accurate)
+}
+
+// Reward evaluates Eq. (1):
+//
+//	R = -1 + R_runs                         if any lat_i > T
+//	R = (A_w - A_m)/(A_o - A_m) + R_runs    if all lat_i <= T and cond
+//	R = (A_w - A_m)/(A_o - A_m) - pen + R_runs   otherwise
+//
+// where cond requires accuracies to be non-increasing as levels get
+// slower/sparser (acc_i > acc_j for i < j).
+func Reward(in RewardInput) RewardResult {
+	var res RewardResult
+	res.RRuns = normalizedRuns(in)
+
+	for _, lat := range in.LatencyMS {
+		if lat > in.TimingConstraintMS {
+			res.Reward = -1 + res.RRuns
+			return res
+		}
+	}
+	res.TimingMet = true
+
+	res.WeightedAcc = weightedAccuracy(in)
+	res.CondHolds = true
+	for i := 0; i+1 < len(in.Acc); i++ {
+		if in.Acc[i] <= in.Acc[i+1] {
+			res.CondHolds = false
+			break
+		}
+	}
+
+	denom := in.AccOriginal - in.AccMin
+	if denom <= 0 {
+		denom = 1e-9
+	}
+	accTerm := (res.WeightedAcc - in.AccMin) / denom
+	res.Reward = accTerm + res.RRuns
+	if !res.CondHolds {
+		res.Reward -= in.Penalty
+	}
+	return res
+}
+
+func weightedAccuracy(in RewardInput) float64 {
+	if len(in.Acc) == 0 {
+		return 0
+	}
+	var s, wsum float64
+	for i, a := range in.Acc {
+		w := 1.0 / float64(len(in.Acc))
+		if in.Weights != nil {
+			w = in.Weights[i]
+		}
+		s += w * a
+		wsum += w
+	}
+	if in.Weights != nil && wsum > 0 {
+		return s / wsum
+	}
+	return s
+}
+
+// normalizedRuns maps the total number of runs into [0, 1] via RunsNorm.
+func normalizedRuns(in RewardInput) float64 {
+	var total float64
+	for _, r := range in.Runs {
+		total += r
+	}
+	if in.RunsNorm <= 0 {
+		return 0
+	}
+	v := total / in.RunsNorm
+	if v > 1 {
+		v = 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}

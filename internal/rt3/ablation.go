@@ -1,0 +1,223 @@
+package rt3
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rt3/internal/mat"
+	"rt3/internal/pattern"
+	"rt3/internal/prune"
+)
+
+// Method identifies one column of the paper's Table IV ablation.
+type Method int
+
+// Ablation methods, in Table IV order.
+const (
+	MethodNoOpt Method = iota // original dense model
+	MethodRBPOnly
+	MethodRBPRPP
+	MethodRBPPP
+	MethodBPOnly
+	MethodRT3
+)
+
+// String names the method as in Table IV.
+func (m Method) String() string {
+	switch m {
+	case MethodNoOpt:
+		return "No-Opt"
+	case MethodRBPOnly:
+		return "rBP only"
+	case MethodRBPRPP:
+		return "rBP+rPP"
+	case MethodRBPPP:
+		return "rBP+PP"
+	case MethodBPOnly:
+		return "BP only"
+	case MethodRT3:
+		return "RT3"
+	}
+	return "unknown"
+}
+
+// AllMethods lists Table IV's columns in order.
+var AllMethods = []Method{MethodNoOpt, MethodRBPOnly, MethodRBPRPP, MethodRBPPP, MethodBPOnly, MethodRT3}
+
+// AblationRow is one method's results in Table IV's row structure.
+type AblationRow struct {
+	Method      Method
+	AvgSparsity float64
+	Runs        float64 // total number of runs across the V/F levels
+	Improvement float64 // Runs / Runs(No-Opt)
+	AvgMetric   float64
+	MetricLoss  float64 // Metric(No-Opt) - AvgMetric
+}
+
+// AblationConfig bundles everything an ablation needs. TaskFactory must
+// return a freshly constructed AND pre-trained task each call (training
+// mutates weights, so each method starts from an identical model).
+type AblationConfig struct {
+	TaskFactory func() TaskModel
+	Level1      Level1Config
+	Search      SearchConfig
+}
+
+// RunAblation reproduces Table IV for one dataset/task: every method is
+// evaluated for average sparsity, total number of runs within the energy
+// budget (split equally across the V/F levels), improvement over No-Opt
+// and metric loss.
+func RunAblation(cfg AblationConfig) ([]AblationRow, error) {
+	var rows []AblationRow
+	var denseRuns, denseMetric float64
+	for _, m := range AllMethods {
+		row, err := runMethod(m, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("rt3: ablation %s: %w", m, err)
+		}
+		if m == MethodNoOpt {
+			denseRuns = row.Runs
+			denseMetric = row.AvgMetric
+		}
+		if denseRuns > 0 {
+			row.Improvement = row.Runs / denseRuns
+		}
+		row.MetricLoss = denseMetric - row.AvgMetric
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func runMethod(m Method, cfg AblationConfig) (*AblationRow, error) {
+	task := cfg.TaskFactory()
+	sCfg := cfg.Search.withDefaults()
+	rng := rand.New(rand.NewSource(sCfg.Seed + int64(m)*101))
+	pr := NewPredictor(task, sCfg.BudgetJ, sCfg.Space.PSize, sCfg.Space.M)
+	if sCfg.CalibrateMS > 0 {
+		pr.Calibrate(sCfg.CalibrateMS, sCfg.Levels[0])
+	}
+	budgetPerLevel := sCfg.BudgetJ / float64(len(sCfg.Levels))
+
+	switch m {
+	case MethodNoOpt:
+		runs := 0.0
+		for _, lvl := range sCfg.Levels {
+			cy := pr.Cycles(nil)
+			runs += budgetPerLevel / pr.Power.InferenceEnergy(lvl, cy)
+		}
+		return &AblationRow{Method: m, AvgSparsity: 0, Runs: runs, AvgMetric: task.Evaluate()}, nil
+
+	case MethodRBPOnly, MethodBPOnly:
+		var l1 *Level1Result
+		var err error
+		if m == MethodBPOnly {
+			l1, err = RunLevel1(task, cfg.Level1, rng)
+		} else {
+			l1, err = RunRandomLevel1(task, cfg.Level1, rng)
+		}
+		if err != nil {
+			return nil, err
+		}
+		pr.Format = prune.FormatBlockStructured
+		runs := 0.0
+		for _, lvl := range sCfg.Levels {
+			cy := pr.Cycles(l1.Masks)
+			runs += budgetPerLevel / pr.Power.InferenceEnergy(lvl, cy)
+		}
+		return &AblationRow{Method: m, AvgSparsity: l1.Sparsity, Runs: runs, AvgMetric: l1.Metric}, nil
+
+	case MethodRBPRPP:
+		l1, err := RunRandomLevel1(task, cfg.Level1, rng)
+		if err != nil {
+			return nil, err
+		}
+		return patternMethod(task, l1, sCfg, pr, rng, true)
+
+	case MethodRBPPP:
+		l1, err := RunRandomLevel1(task, cfg.Level1, rng)
+		if err != nil {
+			return nil, err
+		}
+		return searchMethod(m, task, l1, sCfg, pr, rng)
+
+	case MethodRT3:
+		l1, err := RunLevel1(task, cfg.Level1, rng)
+		if err != nil {
+			return nil, err
+		}
+		return searchMethod(m, task, l1, sCfg, pr, rng)
+	}
+	return nil, fmt.Errorf("rt3: unknown method %v", m)
+}
+
+// patternMethod realizes the rPP baselines: per level, random pattern
+// sets at the heuristically chosen sparsity, jointly trained.
+func patternMethod(task TaskModel, l1 *Level1Result, sCfg SearchConfig, pr *Predictor, rng *rand.Rand, random bool) (*AblationRow, error) {
+	prunable := task.PrunableParams()
+	space, err := BuildSearchSpace(task, l1.Masks, pr, sCfg.Levels, sCfg.TimingMS, sCfg.Space, rng)
+	if err != nil {
+		return nil, err
+	}
+	var masks [][]*mat.Matrix
+	budgetPerLevel := sCfg.BudgetJ / float64(len(sCfg.Levels))
+	runs := 0.0
+	var sparsSum float64
+	for li, lvl := range sCfg.Levels {
+		// heuristic: first candidate for this level whose latency fits
+		var chosen *pattern.Set
+		for _, ci := range space.PerLevel[li] {
+			cand := space.Candidates[ci]
+			set := cand.Set
+			if random {
+				set = pattern.RandomSet(sCfg.Space.PSize, cand.Sparsity, sCfg.K, rng)
+			} else {
+				set = &pattern.Set{Sparsity: cand.Sparsity, Patterns: cand.Set.Patterns[:min(sCfg.K, len(cand.Set.Patterns))]}
+			}
+			lm := BuildMasks(prunable, l1.Masks, set)
+			lat, _ := pr.Measure(lm, lvl)
+			if lat <= sCfg.TimingMS {
+				chosen = set
+				masks = append(masks, lm)
+				sparsSum += combinedSparsity(lm)
+				cy := pr.Cycles(lm)
+				runs += budgetPerLevel / pr.Power.InferenceEnergy(lvl, cy)
+				break
+			}
+		}
+		if chosen == nil {
+			return nil, fmt.Errorf("rt3: no feasible candidate at %s", lvl.Name)
+		}
+	}
+	accs := JointTrain(task, masks, JointTrainConfig{Epochs: sCfg.JointEpochs, Batch: sCfg.Batch, LR: sCfg.LR}, rng)
+	var accSum float64
+	for _, a := range accs {
+		accSum += a
+	}
+	return &AblationRow{
+		Method:      MethodRBPRPP,
+		AvgSparsity: sparsSum / float64(len(sCfg.Levels)),
+		Runs:        runs,
+		AvgMetric:   accSum / float64(len(accs)),
+	}, nil
+}
+
+// searchMethod runs the full Level-2 RL search on the given backbone.
+func searchMethod(m Method, task TaskModel, l1 *Level1Result, sCfg SearchConfig, pr *Predictor, rng *rand.Rand) (*AblationRow, error) {
+	res, err := Search(task, l1, sCfg)
+	if err != nil {
+		return nil, err
+	}
+	sol := res.Best
+	FinalizeSolution(task, sol, sCfg.JointEpochs+1, sCfg.Batch, sCfg.LR, rng)
+	budgetPerLevel := sCfg.BudgetJ / float64(len(sCfg.Levels))
+	runs := 0.0
+	var sparsSum, accSum float64
+	for i, ls := range sol.Levels {
+		cy := pr.Cycles(sol.Masks[i])
+		runs += budgetPerLevel / pr.Power.InferenceEnergy(ls.Level, cy)
+		sparsSum += ls.Sparsity
+		accSum += ls.Metric
+	}
+	n := float64(len(sol.Levels))
+	return &AblationRow{Method: m, AvgSparsity: sparsSum / n, Runs: runs, AvgMetric: accSum / n}, nil
+}

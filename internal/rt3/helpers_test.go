@@ -1,0 +1,20 @@
+package rt3_test
+
+import (
+	"math/rand"
+
+	"rt3/internal/mat"
+	"rt3/internal/pattern"
+)
+
+// aliases keep the test bodies readable without dotted imports
+type (
+	matMatrix  = mat.Matrix
+	patternSet = pattern.Set
+)
+
+// newPatternSet builds a small random pattern set at the given sparsity
+// for mask-construction tests.
+func newPatternSet(sparsity float64, rng *rand.Rand) *pattern.Set {
+	return pattern.RandomSet(4, sparsity, 2, rng)
+}

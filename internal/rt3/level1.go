@@ -1,0 +1,119 @@
+package rt3
+
+import (
+	"math/rand"
+
+	"rt3/internal/mat"
+	"rt3/internal/nn"
+	"rt3/internal/prune"
+)
+
+// Level1Config controls the first optimization level: block-structured
+// pruning followed by a short fine-tune of the surviving weights.
+type Level1Config struct {
+	BP             prune.BPConfig
+	FinetuneEpochs int
+	Batch          int
+	LR             float64
+	// Lasso, when > 0, enables reweighted group-lasso regularization
+	// for LassoEpochs before the hard prune (the paper's orchestration).
+	Lasso       float64
+	LassoEpochs int
+}
+
+// Level1Result is the fixed backbone model produced by Level 1.
+type Level1Result struct {
+	// Masks holds the BP mask for each prunable parameter, aligned with
+	// TaskModel.PrunableParams().
+	Masks []*mat.Matrix
+	// Sparsity is the overall fraction of pruned weights among the
+	// prunable parameters.
+	Sparsity float64
+	// Metric is the task metric after fine-tuning the backbone.
+	Metric float64
+}
+
+// RunLevel1 applies BP (Algorithm 1) to every prunable parameter of the
+// task, attaches the masks, fine-tunes, and returns the backbone result.
+// The masks stay attached to the parameters afterwards.
+func RunLevel1(task TaskModel, cfg Level1Config, rng *rand.Rand) (*Level1Result, error) {
+	return runLevel1(task, cfg, rng, false)
+}
+
+// RunRandomLevel1 is the rBP ablation: identical pipeline but the pruned
+// groups are chosen uniformly at random.
+func RunRandomLevel1(task TaskModel, cfg Level1Config, rng *rand.Rand) (*Level1Result, error) {
+	return runLevel1(task, cfg, rng, true)
+}
+
+func runLevel1(task TaskModel, cfg Level1Config, rng *rand.Rand, random bool) (*Level1Result, error) {
+	prunable := task.PrunableParams()
+
+	if cfg.Lasso > 0 && cfg.LassoEpochs > 0 {
+		runLassoPhase(task, cfg, rng)
+	}
+
+	res := &Level1Result{}
+	for _, p := range prunable {
+		var mask *mat.Matrix
+		var err error
+		if random {
+			mask, err = prune.RandomBlockPrune(p.Value, cfg.BP, rng)
+		} else {
+			mask, err = prune.BlockPrune(p.Value, cfg.BP)
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.SetMask(mask)
+		res.Masks = append(res.Masks, mask)
+	}
+	res.Sparsity = nn.GlobalSparsity(prunable)
+
+	if cfg.FinetuneEpochs > 0 {
+		tr := NewTrainer(task, cfg.LR)
+		tr.Fit(cfg.FinetuneEpochs, cfg.Batch, rng)
+	}
+	res.Metric = task.Evaluate()
+	return res, nil
+}
+
+// runLassoPhase trains with the reweighted group-lasso penalty added to
+// the prunable weight gradients, pushing low-importance groups toward
+// zero before the hard threshold is applied.
+func runLassoPhase(task TaskModel, cfg Level1Config, rng *rand.Rand) {
+	lasso := prune.NewGroupLasso(cfg.BP, cfg.Lasso)
+	prunable := task.PrunableParams()
+	params := task.Params()
+	optim := nn.NewAdam(cfg.LR)
+	n := task.NumTrain()
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	for e := 0; e < cfg.LassoEpochs; e++ {
+		for _, p := range prunable {
+			lasso.Reweight(p.Value)
+		}
+		order := rng.Perm(n)
+		for b := 0; b < n; b += batch {
+			nn.ZeroGrads(params)
+			end := b + batch
+			if end > n {
+				end = n
+			}
+			for _, i := range order[b:end] {
+				task.TrainStep(i)
+			}
+			scale := 1 / float64(end-b)
+			for _, p := range params {
+				p.Grad.Scale(scale)
+			}
+			for _, p := range prunable {
+				lasso.AddGrad(p.Grad, p.Value)
+			}
+			nn.ClipGrads(params, 5)
+			optim.Step(params)
+		}
+	}
+}

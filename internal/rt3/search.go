@@ -1,0 +1,369 @@
+package rt3
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rt3/internal/dvfs"
+	"rt3/internal/mat"
+	"rt3/internal/pattern"
+	"rt3/internal/rl"
+)
+
+// SearchConfig parameterizes the Level-2 AutoML search.
+type SearchConfig struct {
+	Levels   []dvfs.Level // V/F levels, fastest first (paper uses {l6,l4,l3})
+	TimingMS float64      // real-time constraint T
+
+	Space SpaceConfig // search-space generation (psize, theta, m, step)
+	K     int         // patterns the controller picks per set
+
+	Episodes    int
+	JointEpochs int // xi: fine-tune epochs per episode
+	Batch       int
+	LR          float64 // model fine-tune learning rate
+
+	RLHidden float64 // unused placeholder to keep config flat; see RLWidth
+	RLWidth  int     // controller hidden width
+	RLLR     float64
+
+	BudgetJ float64 // battery energy budget for number-of-runs
+	AccMin  float64 // A_m of Eq. (1)
+	Penalty float64 // pen of Eq. (1)
+
+	// CalibrateMS, when > 0, rescales the latency model so the dense
+	// model takes this many milliseconds at the fastest level — placing
+	// a laptop-scale model into the paper's absolute latency regime so
+	// the millisecond timing constraints of Tables II/III apply as-is.
+	CalibrateMS float64
+
+	Seed int64
+}
+
+// withDefaults fills unset fields with the reproduction's defaults.
+func (c SearchConfig) withDefaults() SearchConfig {
+	if c.K == 0 {
+		c.K = 2
+	}
+	if c.Episodes == 0 {
+		c.Episodes = 20
+	}
+	if c.JointEpochs == 0 {
+		c.JointEpochs = 1
+	}
+	if c.Batch == 0 {
+		c.Batch = 8
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.RLWidth == 0 {
+		c.RLWidth = 24
+	}
+	if c.RLLR == 0 {
+		c.RLLR = 0.05
+	}
+	if c.BudgetJ == 0 {
+		c.BudgetJ = 1000
+	}
+	if c.Penalty == 0 {
+		c.Penalty = 0.3
+	}
+	if c.Space.PSize == 0 {
+		c.Space.PSize = 8
+	}
+	if c.Space.Theta == 0 {
+		c.Space.Theta = 3
+	}
+	if c.Space.M == 0 {
+		c.Space.M = 4
+	}
+	return c
+}
+
+// LevelSolution is the configuration chosen for one V/F level.
+type LevelSolution struct {
+	Level     dvfs.Level
+	Candidate int     // index into the search space
+	Sparsity  float64 // achieved combined mask sparsity
+	LatencyMS float64
+	Runs      float64
+	Metric    float64
+}
+
+// Solution is a complete multi-level configuration with its masks.
+type Solution struct {
+	Levels      []LevelSolution
+	Masks       [][]*mat.Matrix // per level, per prunable param
+	Sets        []*pattern.Set  // the K-pattern subsets actually deployed
+	Reward      float64
+	WeightedAcc float64
+	TotalRuns   float64
+}
+
+// ExplorationPoint is one explored design for the Fig. 3a Pareto plot.
+type ExplorationPoint struct {
+	Episode     int
+	WeightedAcc float64
+	TotalRuns   float64
+	Feasible    bool
+	Reward      float64
+}
+
+// SearchResult carries the best solution and the exploration trace.
+type SearchResult struct {
+	Best     *Solution
+	Explored []ExplorationPoint
+	Space    *SearchSpace
+}
+
+// ParetoFront extracts the non-dominated feasible points (maximize both
+// weighted accuracy and total runs).
+func (r *SearchResult) ParetoFront() []ExplorationPoint {
+	var feas []ExplorationPoint
+	for _, p := range r.Explored {
+		if p.Feasible {
+			feas = append(feas, p)
+		}
+	}
+	sort.Slice(feas, func(i, j int) bool { return feas[i].WeightedAcc > feas[j].WeightedAcc })
+	var front []ExplorationPoint
+	bestRuns := -1.0
+	for _, p := range feas {
+		if p.TotalRuns > bestRuns {
+			front = append(front, p)
+			bestRuns = p.TotalRuns
+		}
+	}
+	return front
+}
+
+// Search runs the Level-2 RL loop on a backbone produced by Level 1:
+// sample pattern-set choices, predict latency and runs, joint-train when
+// feasible, reward via Eq. (1), and REINFORCE the controller. The
+// backbone weights in the task are left unchanged (each episode trains a
+// scratch copy); call FinalizeSolution to commit the winner.
+func Search(task TaskModel, level1 *Level1Result, cfg SearchConfig) (*SearchResult, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Levels) == 0 {
+		return nil, fmt.Errorf("rt3: SearchConfig.Levels is empty")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pr := NewPredictor(task, cfg.BudgetJ, cfg.Space.PSize, cfg.Space.M)
+	if cfg.CalibrateMS > 0 {
+		pr.Calibrate(cfg.CalibrateMS, cfg.Levels[0])
+	}
+
+	space, err := BuildSearchSpace(task, level1.Masks, pr, cfg.Levels, cfg.TimingMS, cfg.Space, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	ctrl, err := rl.NewController(rl.Config{
+		Hidden:      cfg.RLWidth,
+		NumSets:     cfg.Space.Theta,
+		NumPatterns: cfg.Space.M,
+		Levels:      len(cfg.Levels),
+		K:           cfg.K,
+		LR:          cfg.RLLR,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	baseline := rl.NewBaseline(0.7)
+
+	// normalization for R_runs: the dense model's total runs across the
+	// chosen levels, times a headroom factor for what sparsity can buy
+	runsNorm := 0.0
+	for _, lvl := range cfg.Levels {
+		_, r := pr.Measure(nil, lvl)
+		runsNorm += r * 8
+	}
+
+	result := &SearchResult{Space: space}
+	snapAll := SnapshotWeights(task.Params())
+
+	for ep := 0; ep < cfg.Episodes; ep++ {
+		episode := ctrl.Sample(rng)
+		sol := assembleSolution(task, level1, space, cfg, episode, pr)
+
+		in := rl.RewardInput{
+			TimingConstraintMS: cfg.TimingMS,
+			AccOriginal:        level1.Metric,
+			AccMin:             cfg.AccMin,
+			Penalty:            cfg.Penalty,
+			RunsNorm:           runsNorm,
+		}
+		for _, ls := range sol.Levels {
+			in.LatencyMS = append(in.LatencyMS, ls.LatencyMS)
+			in.Runs = append(in.Runs, ls.Runs)
+		}
+
+		feasible := true
+		for _, ls := range sol.Levels {
+			if ls.LatencyMS > cfg.TimingMS {
+				feasible = false
+				break
+			}
+		}
+		if feasible {
+			// fine-tune a scratch copy of the shared backbone
+			RestoreWeights(task.Params(), snapAll)
+			accs := JointTrain(task, sol.Masks, JointTrainConfig{
+				Epochs: cfg.JointEpochs, Batch: cfg.Batch, LR: cfg.LR,
+			}, rng)
+			for i := range sol.Levels {
+				sol.Levels[i].Metric = accs[i]
+			}
+			in.Acc = accs
+		}
+		res := rl.Reward(in)
+		sol.Reward = res.Reward
+		sol.WeightedAcc = res.WeightedAcc
+		for _, ls := range sol.Levels {
+			sol.TotalRuns += ls.Runs
+		}
+
+		adv := baseline.Update(res.Reward)
+		ctrl.Reinforce(episode, adv)
+
+		result.Explored = append(result.Explored, ExplorationPoint{
+			Episode:     ep,
+			WeightedAcc: res.WeightedAcc,
+			TotalRuns:   sol.TotalRuns,
+			Feasible:    feasible,
+			Reward:      res.Reward,
+		})
+		if feasible && (result.Best == nil || sol.Reward > result.Best.Reward) {
+			result.Best = sol
+		}
+	}
+	RestoreWeights(task.Params(), snapAll)
+	if result.Best == nil {
+		// fall back to the heuristic choice so callers always get a plan
+		sol, err := HeuristicSolution(task, level1, space, cfg, pr)
+		if err != nil {
+			return nil, err
+		}
+		result.Best = sol
+	}
+	return result, nil
+}
+
+// assembleSolution realizes an RL episode into masks and predictions.
+func assembleSolution(task TaskModel, level1 *Level1Result, space *SearchSpace,
+	cfg SearchConfig, episode *rl.Episode, pr *Predictor) *Solution {
+
+	prunable := task.PrunableParams()
+	sol := &Solution{}
+	for li, lvl := range cfg.Levels {
+		ci := space.CandidateFor(li, episode.SetChoices[li])
+		cand := space.Candidates[ci]
+		sub := subset(cand.Set, episode.PatternChoices[li])
+		masks := BuildMasks(prunable, level1.Masks, sub)
+		lat, runs := pr.Measure(masks, lvl)
+		sp := combinedSparsity(masks)
+		sol.Levels = append(sol.Levels, LevelSolution{
+			Level:     lvl,
+			Candidate: ci,
+			Sparsity:  sp,
+			LatencyMS: lat,
+			Runs:      runs,
+		})
+		sol.Masks = append(sol.Masks, masks)
+		sol.Sets = append(sol.Sets, sub)
+	}
+	return sol
+}
+
+// subset picks the K chosen patterns out of a candidate set (dedup,
+// order-preserving).
+func subset(set *pattern.Set, choices []int) *pattern.Set {
+	out := &pattern.Set{Sparsity: set.Sparsity}
+	seen := map[int]bool{}
+	for _, c := range choices {
+		c %= len(set.Patterns)
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		out.Patterns = append(out.Patterns, set.Patterns[c])
+	}
+	if len(out.Patterns) == 0 {
+		out.Patterns = append(out.Patterns, set.Patterns[0])
+	}
+	return out
+}
+
+func combinedSparsity(masks []*mat.Matrix) float64 {
+	var zeros, total int
+	for _, m := range masks {
+		total += len(m.Data)
+		for _, v := range m.Data {
+			if v == 0 {
+				zeros++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zeros) / float64(total)
+}
+
+// HeuristicSolution is the baseline of Fig. 3(b)-(c): for each V/F level
+// pick the candidate whose sparsity just satisfies the timing constraint
+// and use its first K patterns, then joint-train.
+func HeuristicSolution(task TaskModel, level1 *Level1Result, space *SearchSpace,
+	cfg SearchConfig, pr *Predictor) (*Solution, error) {
+
+	cfg = cfg.withDefaults()
+	prunable := task.PrunableParams()
+	sol := &Solution{}
+	for li, lvl := range cfg.Levels {
+		found := false
+		for _, ci := range space.PerLevel[li] { // ascending sparsity
+			cand := space.Candidates[ci]
+			sub := &pattern.Set{Sparsity: cand.Sparsity, Patterns: cand.Set.Patterns[:min(cfg.K, len(cand.Set.Patterns))]}
+			masks := BuildMasks(prunable, level1.Masks, sub)
+			lat, runs := pr.Measure(masks, lvl)
+			if lat <= cfg.TimingMS {
+				sol.Levels = append(sol.Levels, LevelSolution{
+					Level: lvl, Candidate: ci, Sparsity: combinedSparsity(masks),
+					LatencyMS: lat, Runs: runs,
+				})
+				sol.Masks = append(sol.Masks, masks)
+				sol.Sets = append(sol.Sets, sub)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("rt3: heuristic found no feasible candidate for %s", lvl.Name)
+		}
+	}
+	for _, ls := range sol.Levels {
+		sol.TotalRuns += ls.Runs
+	}
+	return sol, nil
+}
+
+// FinalizeSolution commits a solution: joint-trains the task's backbone
+// through the solution's masks for the given epochs and fills in the
+// final per-level metrics.
+func FinalizeSolution(task TaskModel, sol *Solution, epochs, batch int, lr float64, rng *rand.Rand) {
+	accs := JointTrain(task, sol.Masks, JointTrainConfig{Epochs: epochs, Batch: batch, LR: lr}, rng)
+	sol.WeightedAcc = 0
+	for i := range sol.Levels {
+		sol.Levels[i].Metric = accs[i]
+		sol.WeightedAcc += accs[i] / float64(len(accs))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,156 @@
+package rt3_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rt3/internal/dvfs"
+	"rt3/internal/prune"
+	"rt3/internal/rt3"
+)
+
+func buildSpace(t *testing.T, timingMS float64) (*rt3.SearchSpace, rt3.TaskModel, *rt3.Level1Result, *rt3.Predictor) {
+	t.Helper()
+	task := tinyLMTask(t, 1)
+	l1, err := rt3.RunLevel1(task, rt3.Level1Config{
+		BP: prune.BPConfig{Blocks: 2, Direction: prune.ColumnsInRowBlocks, Percentile: 0.3},
+	}, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := rt3.NewPredictor(task, 500, 4, 3)
+	levels := []dvfs.Level{dvfs.OdroidXU3Levels[5], dvfs.OdroidXU3Levels[3], dvfs.OdroidXU3Levels[2]}
+	space, err := rt3.BuildSearchSpace(task, l1.Masks, pr, levels, timingMS,
+		rt3.SpaceConfig{PSize: 4, Theta: 3, M: 3, Step: 0.08}, rand.New(rand.NewSource(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space, task, l1, pr
+}
+
+func TestSearchSpacePerLevelStructure(t *testing.T) {
+	space, _, _, _ := buildSpace(t, 60)
+	if len(space.PerLevel) != 3 {
+		t.Fatalf("PerLevel groups %d", len(space.PerLevel))
+	}
+	for li, opts := range space.PerLevel {
+		if len(opts) != 3 { // theta
+			t.Fatalf("level %d has %d options", li, len(opts))
+		}
+		// options sorted by ascending sparsity (base, then tightened)
+		for k := 1; k < len(opts); k++ {
+			if space.Candidates[opts[k]].Sparsity < space.Candidates[opts[k-1]].Sparsity {
+				t.Fatalf("level %d options not ascending: %v", li, opts)
+			}
+		}
+	}
+	// slower levels need at least the base sparsity of faster ones
+	baseL6 := space.Candidates[space.PerLevel[0][0]].Sparsity
+	baseL3 := space.Candidates[space.PerLevel[2][0]].Sparsity
+	if baseL3 < baseL6 {
+		t.Fatalf("l3 base sparsity %g < l6 base %g", baseL3, baseL6)
+	}
+}
+
+func TestSearchSpaceCandidateFor(t *testing.T) {
+	space, _, _, _ := buildSpace(t, 60)
+	for li := range space.PerLevel {
+		got := space.CandidateFor(li, 0)
+		if got != space.PerLevel[li][0] {
+			t.Fatalf("CandidateFor(%d, 0) = %d want %d", li, got, space.PerLevel[li][0])
+		}
+		// out-of-range choices wrap around instead of panicking
+		wrapped := space.CandidateFor(li, len(space.PerLevel[li]))
+		if wrapped != space.PerLevel[li][0] {
+			t.Fatalf("CandidateFor wrap = %d want %d", wrapped, space.PerLevel[li][0])
+		}
+	}
+}
+
+func TestSearchSpaceCandidatesSortedAndDeduped(t *testing.T) {
+	space, _, _, _ := buildSpace(t, 60)
+	for i := 1; i < len(space.Candidates); i++ {
+		if space.Candidates[i].Sparsity <= space.Candidates[i-1].Sparsity {
+			t.Fatalf("candidates not strictly ascending at %d", i)
+		}
+	}
+	for _, c := range space.Candidates {
+		if len(c.Set.Patterns) != 3 { // M
+			t.Fatalf("candidate has %d patterns", len(c.Set.Patterns))
+		}
+	}
+}
+
+func TestBuildSearchSpaceUnreachableTiming(t *testing.T) {
+	task := tinyLMTask(t, 1)
+	l1, err := rt3.RunLevel1(task, rt3.Level1Config{
+		BP: prune.BPConfig{Blocks: 2, Direction: prune.ColumnsInRowBlocks, Percentile: 0.3},
+	}, rand.New(rand.NewSource(33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := rt3.NewPredictor(task, 500, 4, 3)
+	levels := []dvfs.Level{dvfs.OdroidXU3Levels[0]} // 400 MHz
+	_, err = rt3.BuildSearchSpace(task, l1.Masks, pr, levels, 0.0001,
+		rt3.SpaceConfig{PSize: 4, Theta: 2, M: 2, Step: 0.1}, rand.New(rand.NewSource(34)))
+	if err == nil {
+		t.Fatal("impossible timing constraint accepted")
+	}
+}
+
+func TestPredictorCalibrate(t *testing.T) {
+	task := tinyLMTask(t, 1)
+	pr := rt3.NewPredictor(task, 500, 4, 3)
+	level := dvfs.OdroidXU3Levels[5]
+	f := pr.Calibrate(160, level)
+	if f <= 0 {
+		t.Fatalf("scale factor %g", f)
+	}
+	lat, _ := pr.Measure(nil, level)
+	if lat < 159.9 || lat > 160.1 {
+		t.Fatalf("calibrated dense latency %g != 160", lat)
+	}
+	if pr.ScaleFactor != f {
+		t.Fatalf("ScaleFactor %g != %g", pr.ScaleFactor, f)
+	}
+	// calibrating again composes
+	pr.Calibrate(320, level)
+	lat, _ = pr.Measure(nil, level)
+	if lat < 319.9 || lat > 320.1 {
+		t.Fatalf("recalibrated latency %g != 320", lat)
+	}
+}
+
+func TestSearchConfigValidation(t *testing.T) {
+	task := tinyLMTask(t, 1)
+	l1 := &rt3.Level1Result{}
+	if _, err := rt3.Search(task, l1, rt3.SearchConfig{}); err == nil {
+		t.Fatal("empty levels accepted")
+	}
+}
+
+func TestRewardCondPenaltyAppearsInSearch(t *testing.T) {
+	// sanity: search completes and best solution reports reward fields
+	space, task, l1, pr := buildSpace(t, 60)
+	_ = space
+	_ = pr
+	cfg := rt3.SearchConfig{
+		Levels:   []dvfs.Level{dvfs.OdroidXU3Levels[5], dvfs.OdroidXU3Levels[2]},
+		TimingMS: 60,
+		Space:    rt3.SpaceConfig{PSize: 4, Theta: 2, M: 3, Step: 0.1},
+		K:        1, Episodes: 3, JointEpochs: 1, Batch: 8, LR: 2e-3,
+		BudgetJ: 500, Seed: 35,
+	}
+	res, err := rt3.Search(task, l1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || len(res.Best.Sets) != 2 {
+		t.Fatalf("unexpected best: %+v", res.Best)
+	}
+	for _, set := range res.Best.Sets {
+		if len(set.Patterns) < 1 || len(set.Patterns) > 1 {
+			t.Fatalf("K=1 should deploy exactly 1 pattern, got %d", len(set.Patterns))
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package rtswitch
+
+import (
+	"testing"
+
+	"rt3/internal/dvfs"
+)
+
+func threeLevels() []dvfs.Level {
+	return []dvfs.Level{dvfs.OdroidXU3Levels[5], dvfs.OdroidXU3Levels[3], dvfs.OdroidXU3Levels[2]}
+}
+
+func TestPatternSwitchIsMilliseconds(t *testing.T) {
+	m := DefaultSwitchCostModel()
+	// a realistic pattern set: a few KB of masks
+	ms := m.PatternSwitchMS(4096)
+	if ms < 0.1 || ms > 100 {
+		t.Fatalf("pattern switch %g ms outside the paper's regime", ms)
+	}
+}
+
+func TestModelSwitchIsSeconds(t *testing.T) {
+	m := DefaultSwitchCostModel()
+	// a mobile transformer: ~100 MB of weights
+	ms := m.ModelSwitchMS(100 << 20)
+	if ms < 1000 {
+		t.Fatalf("model switch %g ms should be seconds", ms)
+	}
+}
+
+func TestSwitchSpeedupOver1000x(t *testing.T) {
+	// The paper: "RT3 achieves over 1000x speedup at switch" for
+	// DistilBERT (45ms vs 66.93s).
+	m := DefaultSwitchCostModel()
+	patMS := m.PatternSwitchMS(8192)
+	modelMS := m.ModelSwitchMS(250 << 20)
+	if modelMS/patMS < 1000 {
+		t.Fatalf("switch speedup %gx, want > 1000x", modelMS/patMS)
+	}
+}
+
+func TestSimulateE1FixedLevel(t *testing.T) {
+	cfg := Config{
+		Levels:    threeLevels(),
+		SubModels: []SubModel{{Name: "M1", Cycles: 1e8}},
+		Power:     dvfs.DefaultPowerModel(),
+		Switch:    DefaultSwitchCostModel(),
+		TimingMS:  115,
+		BudgetJ:   50,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs == 0 {
+		t.Fatal("no runs completed")
+	}
+	for i := 1; i < len(res.PerLevelRuns); i++ {
+		if res.PerLevelRuns[i] != 0 {
+			t.Fatal("E1 must stay at the first level")
+		}
+	}
+	if res.Switches != 0 {
+		t.Fatal("E1 must never switch")
+	}
+}
+
+func TestSimulateE2HardwareOnlyGainsRunsButViolatesTiming(t *testing.T) {
+	pm := dvfs.DefaultPowerModel()
+	base := Config{
+		Levels:    threeLevels(),
+		SubModels: []SubModel{{Name: "M1", Cycles: 1.3e8}}, // ~115ms at l6
+		Power:     pm,
+		Switch:    DefaultSwitchCostModel(),
+		TimingMS:  115,
+		BudgetJ:   50,
+	}
+	e1, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2cfg := base
+	e2cfg.HardwareReconfig = true
+	e2, err := Simulate(e2cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Runs <= e1.Runs {
+		t.Fatalf("DVFS gave no gain: E2 %d <= E1 %d", e2.Runs, e1.Runs)
+	}
+	if e2.SatisfiedAll {
+		t.Fatal("E2 at low frequency with the dense model should violate timing")
+	}
+}
+
+func TestSimulateE3BothReconfigWinsAndMeetsTiming(t *testing.T) {
+	pm := dvfs.DefaultPowerModel()
+	levels := threeLevels()
+	// sparser sub-models at slower levels sized to meet 115ms everywhere
+	subs := []SubModel{
+		{Name: "M1", Cycles: 1.3e8, MaskBytes: 4096},
+		{Name: "M2", Cycles: 0.9e8, MaskBytes: 4096},
+		{Name: "M3", Cycles: 0.7e8, MaskBytes: 4096},
+	}
+	e3cfg := Config{
+		Levels: levels, SubModels: subs, Power: pm,
+		Switch: DefaultSwitchCostModel(), TimingMS: 115, BudgetJ: 50,
+		HardwareReconfig: true, SoftwareReconfig: true,
+	}
+	e3, err := Simulate(e3cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e3.SatisfiedAll {
+		t.Fatalf("E3 violated timing %d times", e3.Violations)
+	}
+	e1cfg := e3cfg
+	e1cfg.HardwareReconfig = false
+	e1cfg.SoftwareReconfig = false
+	e1cfg.SubModels = subs[:1]
+	e1, _ := Simulate(e1cfg)
+	if float64(e3.Runs)/float64(e1.Runs) < 1.3 {
+		t.Fatalf("E3/E1 improvement only %gx", float64(e3.Runs)/float64(e1.Runs))
+	}
+	if e3.Switches == 0 {
+		t.Fatal("E3 should have switched sub-models")
+	}
+}
+
+func TestSimulateConfigErrors(t *testing.T) {
+	if _, err := Simulate(Config{}); err == nil {
+		t.Fatal("empty config should error")
+	}
+	if _, err := Simulate(Config{
+		Levels:    threeLevels(),
+		SubModels: []SubModel{{}, {}},
+	}); err == nil {
+		t.Fatal("mismatched sub-models should error")
+	}
+}
+
+func TestSimulateEnergyConservation(t *testing.T) {
+	cfg := Config{
+		Levels:    threeLevels(),
+		SubModels: []SubModel{{Name: "M", Cycles: 1e8}},
+		Power:     dvfs.DefaultPowerModel(),
+		Switch:    DefaultSwitchCostModel(),
+		TimingMS:  1000,
+		BudgetJ:   10,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyUsedJ > cfg.BudgetJ {
+		t.Fatalf("used %g J > budget %g J", res.EnergyUsedJ, cfg.BudgetJ)
+	}
+	// remaining energy is less than one more inference
+	perInf := cfg.Power.InferenceEnergy(cfg.Levels[0], 1e8)
+	if cfg.BudgetJ-res.EnergyUsedJ > perInf {
+		t.Fatal("simulation stopped early")
+	}
+}
+
+func TestReconfigurator(t *testing.T) {
+	levels := threeLevels()
+	subs := []SubModel{
+		{Name: "M1", MaskBytes: 1024},
+		{Name: "M2", MaskBytes: 1024},
+		{Name: "M3", MaskBytes: 2048},
+	}
+	r, err := NewReconfigurator(levels, subs, DefaultSwitchCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Current() != 0 {
+		t.Fatal("initial level not 0")
+	}
+	cost, err := r.SwitchTo(0)
+	if err != nil || cost != 0 {
+		t.Fatalf("no-op switch cost %g err %v", cost, err)
+	}
+	cost, err = r.SwitchTo(2)
+	if err != nil || cost <= 0 {
+		t.Fatalf("switch cost %g err %v", cost, err)
+	}
+	if r.Current() != 2 {
+		t.Fatal("switch did not take effect")
+	}
+	n, ms := r.Stats()
+	if n != 1 || ms != cost {
+		t.Fatalf("stats %d %g", n, ms)
+	}
+	if _, err := r.SwitchTo(5); err == nil {
+		t.Fatal("out-of-range switch should error")
+	}
+}
+
+func TestReconfiguratorValidation(t *testing.T) {
+	if _, err := NewReconfigurator(nil, nil, DefaultSwitchCostModel()); err == nil {
+		t.Fatal("empty reconfigurator should error")
+	}
+	if _, err := NewReconfigurator(threeLevels(), []SubModel{{}}, DefaultSwitchCostModel()); err == nil {
+		t.Fatal("mismatched reconfigurator should error")
+	}
+}

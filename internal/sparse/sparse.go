@@ -1,0 +1,357 @@
+// Package sparse implements the sparse weight execution formats that the
+// RT3 deployment story rests on: COO (what irregular pruning forces),
+// CSR, block-CSR (what Level-1 BP enables) and pattern-packed storage
+// (what Level-2 PP enables, after PatDNN-style compiler packing). Each
+// format supports matrix-vector and matrix-matrix products that are
+// verified element-for-element against dense execution in the tests; the
+// benchmark harness uses them to ground the hwsim cost-model ordering in
+// actual kernel behaviour.
+package sparse
+
+import (
+	"fmt"
+
+	"rt3/internal/mat"
+)
+
+// COO stores (row, col, value) triples — the layout the paper's
+// Challenge 1 attributes to irregular pruning, with two index words per
+// nonzero.
+type COO struct {
+	Rows, Cols int
+	RowIdx     []int32
+	ColIdx     []int32
+	Val        []float64
+}
+
+// NewCOO packs the nonzeros of w.
+func NewCOO(w *mat.Matrix) *COO {
+	c := &COO{Rows: w.Rows, Cols: w.Cols}
+	for i := 0; i < w.Rows; i++ {
+		row := w.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				c.RowIdx = append(c.RowIdx, int32(i))
+				c.ColIdx = append(c.ColIdx, int32(j))
+				c.Val = append(c.Val, v)
+			}
+		}
+	}
+	return c
+}
+
+// NNZ returns the stored nonzero count.
+func (c *COO) NNZ() int { return len(c.Val) }
+
+// IndexWords returns the number of stored index words (2 per nonzero).
+func (c *COO) IndexWords() int { return 2 * len(c.Val) }
+
+// MulVec computes y = W^T x? No: y = x @ W for a row-vector x of length
+// Rows... — see MulMat; MulVec computes y (len Cols) = x (len Rows) @ W.
+func (c *COO) MulVec(x []float64) []float64 {
+	if len(x) != c.Rows {
+		panic(fmt.Sprintf("sparse: COO MulVec len %d != rows %d", len(x), c.Rows))
+	}
+	y := make([]float64, c.Cols)
+	for k, v := range c.Val {
+		y[c.ColIdx[k]] += x[c.RowIdx[k]] * v
+	}
+	return y
+}
+
+// MulMat computes Y = X @ W where X is batch x Rows.
+func (c *COO) MulMat(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != c.Rows {
+		panic(fmt.Sprintf("sparse: COO MulMat cols %d != rows %d", x.Cols, c.Rows))
+	}
+	y := mat.New(x.Rows, c.Cols)
+	for b := 0; b < x.Rows; b++ {
+		xr := x.Row(b)
+		yr := y.Row(b)
+		for k, v := range c.Val {
+			yr[c.ColIdx[k]] += xr[c.RowIdx[k]] * v
+		}
+	}
+	return y
+}
+
+// CSR is compressed sparse row storage: one column index per nonzero
+// plus a rows+1 pointer array.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32
+	ColIdx     []int32
+	Val        []float64
+}
+
+// NewCSR packs the nonzeros of w row by row.
+func NewCSR(w *mat.Matrix) *CSR {
+	c := &CSR{Rows: w.Rows, Cols: w.Cols, RowPtr: make([]int32, w.Rows+1)}
+	for i := 0; i < w.Rows; i++ {
+		row := w.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				c.ColIdx = append(c.ColIdx, int32(j))
+				c.Val = append(c.Val, v)
+			}
+		}
+		c.RowPtr[i+1] = int32(len(c.Val))
+	}
+	return c
+}
+
+// NNZ returns the stored nonzero count.
+func (c *CSR) NNZ() int { return len(c.Val) }
+
+// IndexWords returns stored index words (1 per nonzero + row pointers).
+func (c *CSR) IndexWords() int { return len(c.ColIdx) + len(c.RowPtr) }
+
+// MulMat computes Y = X @ W where X is batch x Rows.
+func (c *CSR) MulMat(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != c.Rows {
+		panic(fmt.Sprintf("sparse: CSR MulMat cols %d != rows %d", x.Cols, c.Rows))
+	}
+	y := mat.New(x.Rows, c.Cols)
+	for b := 0; b < x.Rows; b++ {
+		xr := x.Row(b)
+		yr := y.Row(b)
+		for i := 0; i < c.Rows; i++ {
+			xv := xr[i]
+			if xv == 0 {
+				continue
+			}
+			for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+				yr[c.ColIdx[k]] += xv * c.Val[k]
+			}
+		}
+	}
+	return y
+}
+
+// BlockCSR is the BP execution format: the matrix is split into
+// row-blocks; each block stores the indices of its surviving columns
+// once, plus a dense (blockRows x survivors) value panel. This is what
+// makes BP "compatible with parallel computation": inner loops are
+// dense over the survivor panel.
+type BlockCSR struct {
+	Rows, Cols int
+	BlockRows  int // rows per block (last block may be short)
+	Blocks     []blockPanel
+}
+
+type blockPanel struct {
+	r0, r1 int
+	cols   []int32   // surviving column indices
+	panel  []float64 // (r1-r0) x len(cols), row-major
+}
+
+// NewBlockCSR packs w into numBlocks row-blocks, keeping the columns
+// that are nonzero anywhere within each block.
+func NewBlockCSR(w *mat.Matrix, numBlocks int) *BlockCSR {
+	if numBlocks < 1 {
+		numBlocks = 1
+	}
+	if numBlocks > w.Rows {
+		numBlocks = w.Rows
+	}
+	c := &BlockCSR{Rows: w.Rows, Cols: w.Cols, BlockRows: (w.Rows + numBlocks - 1) / numBlocks}
+	for b := 0; b < numBlocks; b++ {
+		r0 := b * w.Rows / numBlocks
+		r1 := (b + 1) * w.Rows / numBlocks
+		if r0 >= r1 {
+			continue
+		}
+		var cols []int32
+		for j := 0; j < w.Cols; j++ {
+			alive := false
+			for i := r0; i < r1; i++ {
+				if w.At(i, j) != 0 {
+					alive = true
+					break
+				}
+			}
+			if alive {
+				cols = append(cols, int32(j))
+			}
+		}
+		panel := make([]float64, (r1-r0)*len(cols))
+		for i := r0; i < r1; i++ {
+			for k, j := range cols {
+				panel[(i-r0)*len(cols)+k] = w.At(i, int(j))
+			}
+		}
+		c.Blocks = append(c.Blocks, blockPanel{r0: r0, r1: r1, cols: cols, panel: panel})
+	}
+	return c
+}
+
+// NNZ returns the stored value count (the dense survivor panels).
+func (c *BlockCSR) NNZ() int {
+	n := 0
+	for _, b := range c.Blocks {
+		n += len(b.panel)
+	}
+	return n
+}
+
+// IndexWords returns stored index words (one per surviving column per
+// block — the paper's storage argument for BP).
+func (c *BlockCSR) IndexWords() int {
+	n := 0
+	for _, b := range c.Blocks {
+		n += len(b.cols)
+	}
+	return n
+}
+
+// MulMat computes Y = X @ W where X is batch x Rows.
+func (c *BlockCSR) MulMat(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != c.Rows {
+		panic(fmt.Sprintf("sparse: BlockCSR MulMat cols %d != rows %d", x.Cols, c.Rows))
+	}
+	y := mat.New(x.Rows, c.Cols)
+	for bi := 0; bi < x.Rows; bi++ {
+		xr := x.Row(bi)
+		yr := y.Row(bi)
+		for _, blk := range c.Blocks {
+			nc := len(blk.cols)
+			for i := blk.r0; i < blk.r1; i++ {
+				xv := xr[i]
+				if xv == 0 {
+					continue
+				}
+				panelRow := blk.panel[(i-blk.r0)*nc : (i-blk.r0+1)*nc]
+				for k, v := range panelRow {
+					yr[blk.cols[k]] += xv * v
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Pattern is the PP execution format: the matrix is tiled into
+// psize x psize blocks; each tile stores a pattern id into a small
+// shared dictionary plus the values at the pattern's kept positions, in
+// pattern order. The PatDNN-style regularity: all tiles with the same
+// pattern id run the identical (compiler-unrolled) inner loop.
+type Pattern struct {
+	Rows, Cols, PSize int
+	// Dict[i] lists the kept (r, c) offsets of pattern i within a tile.
+	Dict [][][2]int8
+	// Tiles in row-major tile order.
+	Tiles []patternTile
+}
+
+type patternTile struct {
+	r0, c0 int
+	id     int32
+	vals   []float64 // len == len(Dict[id]), in dictionary order
+}
+
+// NewPattern packs w given the per-tile pattern choices. bits[i] holds
+// pattern i's psize*psize 0/1 mask; choices lists the pattern id of each
+// tile in row-major order (as returned by pattern.Set.Apply).
+func NewPattern(w *mat.Matrix, psize int, bits [][]uint8, choices []int) (*Pattern, error) {
+	p := &Pattern{Rows: w.Rows, Cols: w.Cols, PSize: psize}
+	for _, bm := range bits {
+		if len(bm) != psize*psize {
+			return nil, fmt.Errorf("sparse: pattern bitmap len %d != %d", len(bm), psize*psize)
+		}
+		var offs [][2]int8
+		for i := 0; i < psize; i++ {
+			for j := 0; j < psize; j++ {
+				if bm[i*psize+j] != 0 {
+					offs = append(offs, [2]int8{int8(i), int8(j)})
+				}
+			}
+		}
+		p.Dict = append(p.Dict, offs)
+	}
+	t := 0
+	for r := 0; r < w.Rows; r += psize {
+		for c := 0; c < w.Cols; c += psize {
+			if t >= len(choices) {
+				return nil, fmt.Errorf("sparse: %d choices for %d tiles", len(choices), t+1)
+			}
+			id := choices[t]
+			if id < 0 || id >= len(p.Dict) {
+				return nil, fmt.Errorf("sparse: pattern id %d out of dict %d", id, len(p.Dict))
+			}
+			offs := p.Dict[id]
+			vals := make([]float64, len(offs))
+			for k, o := range offs {
+				rr, cc := r+int(o[0]), c+int(o[1])
+				if rr < w.Rows && cc < w.Cols {
+					vals[k] = w.At(rr, cc)
+				}
+			}
+			p.Tiles = append(p.Tiles, patternTile{r0: r, c0: c, id: int32(id), vals: vals})
+			t++
+		}
+	}
+	if t != len(choices) {
+		return nil, fmt.Errorf("sparse: %d choices for %d tiles", len(choices), t)
+	}
+	return p, nil
+}
+
+// NNZ returns the stored value count.
+func (p *Pattern) NNZ() int {
+	n := 0
+	for _, t := range p.Tiles {
+		n += len(t.vals)
+	}
+	return n
+}
+
+// IndexWords returns the stored index words: one id per tile plus the
+// shared dictionary offsets.
+func (p *Pattern) IndexWords() int {
+	n := len(p.Tiles)
+	for _, d := range p.Dict {
+		n += len(d)
+	}
+	return n
+}
+
+// MulMat computes Y = X @ W where X is batch x Rows.
+func (p *Pattern) MulMat(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != p.Rows {
+		panic(fmt.Sprintf("sparse: Pattern MulMat cols %d != rows %d", x.Cols, p.Rows))
+	}
+	y := mat.New(x.Rows, p.Cols)
+	for bi := 0; bi < x.Rows; bi++ {
+		xr := x.Row(bi)
+		yr := y.Row(bi)
+		for _, t := range p.Tiles {
+			offs := p.Dict[t.id]
+			for k, v := range t.vals {
+				if v == 0 {
+					continue
+				}
+				r := t.r0 + int(offs[k][0])
+				c := t.c0 + int(offs[k][1])
+				if r < p.Rows && c < p.Cols {
+					yr[c] += xr[r] * v
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Multiplier is the common interface of all packed formats.
+type Multiplier interface {
+	MulMat(x *mat.Matrix) *mat.Matrix
+	NNZ() int
+	IndexWords() int
+}
+
+// compile-time interface checks
+var (
+	_ Multiplier = (*COO)(nil)
+	_ Multiplier = (*CSR)(nil)
+	_ Multiplier = (*BlockCSR)(nil)
+	_ Multiplier = (*Pattern)(nil)
+)

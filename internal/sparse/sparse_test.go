@@ -1,0 +1,225 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rt3/internal/mat"
+	"rt3/internal/pattern"
+	"rt3/internal/prune"
+)
+
+// sparseRandom returns a matrix with the requested sparsity.
+func sparseRandom(rows, cols int, sparsity float64, seed int64) *mat.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	w := mat.New(rows, cols)
+	w.Randomize(rng, 1)
+	n := int(sparsity * float64(rows*cols))
+	for _, i := range rng.Perm(rows * cols)[:n] {
+		w.Data[i] = 0
+	}
+	return w
+}
+
+func denseMul(x, w *mat.Matrix) *mat.Matrix {
+	y := mat.New(x.Rows, w.Cols)
+	mat.MatMul(y, x, w)
+	return y
+}
+
+func TestCOOMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols, batch := 2+rng.Intn(10), 2+rng.Intn(10), 1+rng.Intn(4)
+		w := sparseRandom(rows, cols, 0.5, seed)
+		x := mat.New(batch, rows)
+		x.Randomize(rng, 1)
+		return mat.Equal(NewCOO(w).MulMat(x), denseMul(x, w), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCOOMulVecMatchesMulMat(t *testing.T) {
+	w := sparseRandom(8, 6, 0.4, 1)
+	rng := rand.New(rand.NewSource(2))
+	x := mat.New(1, 8)
+	x.Randomize(rng, 1)
+	c := NewCOO(w)
+	got := c.MulVec(x.Row(0))
+	want := c.MulMat(x)
+	for j, v := range got {
+		if !mat.Equal(mat.FromSlice(1, 1, []float64{v}), mat.FromSlice(1, 1, []float64{want.At(0, j)}), 1e-12) {
+			t.Fatalf("MulVec[%d] = %g, MulMat = %g", j, v, want.At(0, j))
+		}
+	}
+}
+
+func TestCSRMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols, batch := 2+rng.Intn(10), 2+rng.Intn(10), 1+rng.Intn(4)
+		w := sparseRandom(rows, cols, 0.7, seed)
+		x := mat.New(batch, rows)
+		x.Randomize(rng, 1)
+		return mat.Equal(NewCSR(w).MulMat(x), denseMul(x, w), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockCSRMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols, batch := 4+rng.Intn(12), 4+rng.Intn(12), 1+rng.Intn(4)
+		w := sparseRandom(rows, cols, 0.5, seed)
+		// make it block-structured: BP mask applied
+		mask, err := prune.BlockPrune(w, prune.BPConfig{Blocks: 2, Direction: prune.ColumnsInRowBlocks, Percentile: 0.5})
+		if err != nil {
+			return false
+		}
+		w.Hadamard(mask)
+		x := mat.New(batch, rows)
+		x.Randomize(rng, 1)
+		return mat.Equal(NewBlockCSR(w, 2).MulMat(x), denseMul(x, w), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockCSRIndexEconomy(t *testing.T) {
+	// On a block-structured matrix, BlockCSR must need far fewer index
+	// words than COO — the paper's storage argument for BP.
+	w := sparseRandom(64, 64, 0, 3)
+	mask, _ := prune.BlockPrune(w, prune.BPConfig{Blocks: 4, Direction: prune.ColumnsInRowBlocks, Percentile: 0.5})
+	w.Hadamard(mask)
+	coo := NewCOO(w)
+	blk := NewBlockCSR(w, 4)
+	if blk.IndexWords()*10 > coo.IndexWords() {
+		t.Fatalf("BlockCSR %d index words vs COO %d: economy lost", blk.IndexWords(), coo.IndexWords())
+	}
+	if blk.NNZ() != coo.NNZ() {
+		t.Fatalf("value counts differ: %d vs %d", blk.NNZ(), coo.NNZ())
+	}
+}
+
+func TestPatternMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols, batch := 8, 8, 1+rng.Intn(3)
+		w := mat.New(rows, cols)
+		w.Randomize(rng, 1)
+		set := pattern.RandomSet(4, 0.5, 3, rng)
+		mask, choices := set.Apply(w)
+		masked := w.Clone()
+		masked.Hadamard(mask)
+
+		bits := make([][]uint8, len(set.Patterns))
+		for i, p := range set.Patterns {
+			bits[i] = p.Bits
+		}
+		pk, err := NewPattern(w, 4, bits, choices)
+		if err != nil {
+			return false
+		}
+		x := mat.New(batch, rows)
+		x.Randomize(rng, 1)
+		return mat.Equal(pk.MulMat(x), denseMul(x, masked), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternHandlesEdgeTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := mat.New(7, 5) // not multiples of psize=4
+	w.Randomize(rng, 1)
+	set := pattern.RandomSet(4, 0.5, 2, rng)
+	mask, choices := set.Apply(w)
+	masked := w.Clone()
+	masked.Hadamard(mask)
+	bits := make([][]uint8, len(set.Patterns))
+	for i, p := range set.Patterns {
+		bits[i] = p.Bits
+	}
+	pk, err := NewPattern(w, 4, bits, choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.New(2, 7)
+	x.Randomize(rng, 1)
+	if !mat.Equal(pk.MulMat(x), denseMul(x, masked), 1e-9) {
+		t.Fatal("edge-tile execution differs from dense")
+	}
+}
+
+func TestPatternValidation(t *testing.T) {
+	w := mat.New(4, 4)
+	if _, err := NewPattern(w, 2, [][]uint8{{1}}, []int{0, 0, 0, 0}); err == nil {
+		t.Fatal("bad bitmap length accepted")
+	}
+	bits := [][]uint8{{1, 0, 0, 1}}
+	if _, err := NewPattern(w, 2, bits, []int{0}); err == nil {
+		t.Fatal("too few choices accepted")
+	}
+	if _, err := NewPattern(w, 2, bits, []int{0, 0, 0, 5}); err == nil {
+		t.Fatal("out-of-dict id accepted")
+	}
+	if _, err := NewPattern(w, 2, bits, []int{0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("too many choices accepted")
+	}
+}
+
+func TestIndexWordAccountingMatchesPruneCosts(t *testing.T) {
+	// The executable formats and the analytic storage model must agree
+	// on the COO index count (the contract hwsim relies on).
+	w := sparseRandom(32, 32, 0.6, 5)
+	coo := NewCOO(w)
+	maskLike := w.Clone() // nonzero layout equals the mask
+	cost := prune.CostCOO(maskLike)
+	if coo.IndexWords() != cost.Indices {
+		t.Fatalf("COO index words %d != analytic %d", coo.IndexWords(), cost.Indices)
+	}
+	if coo.NNZ() != cost.Values {
+		t.Fatalf("COO values %d != analytic %d", coo.NNZ(), cost.Values)
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	w := sparseRandom(4, 4, 0.5, 6)
+	x := mat.New(1, 3) // wrong inner dim
+	for name, m := range map[string]Multiplier{
+		"COO": NewCOO(w), "CSR": NewCSR(w), "BlockCSR": NewBlockCSR(w, 2),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			m.MulMat(x)
+		}()
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	w := mat.New(4, 4) // all zeros
+	x := mat.New(2, 4)
+	x.Fill(1)
+	for name, m := range map[string]Multiplier{
+		"COO": NewCOO(w), "CSR": NewCSR(w), "BlockCSR": NewBlockCSR(w, 2),
+	} {
+		y := m.MulMat(x)
+		if y.NNZ() != 0 {
+			t.Errorf("%s: zero matrix produced nonzero output", name)
+		}
+		if m.NNZ() != 0 {
+			t.Errorf("%s: zero matrix stores %d values", name, m.NNZ())
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package transformer implements the models the RT3 paper prunes: a
+// small encoder-decoder Transformer language model (the paper uses two
+// encoder and one decoder layers on WikiText-2) and a DistilBERT-like
+// six-encoder classifier/regressor for GLUE-style tasks.
+//
+// All layers carry hand-written backward passes over the nn substrate;
+// a model processes one sequence (seq x d_model matrix) at a time and
+// mini-batching is done by gradient accumulation across sequences.
+package transformer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rt3/internal/mat"
+	"rt3/internal/nn"
+)
+
+// MultiHeadAttention implements scaled dot-product attention with H
+// heads. It supports self-attention (q == kv) and cross-attention
+// (decoder queries over encoder memory) plus an optional causal mask.
+type MultiHeadAttention struct {
+	Dim, Heads int
+	HeadDim    int
+
+	WQ, WK, WV, WO *nn.Linear
+
+	// forward caches (per head)
+	q, k, v *mat.Matrix
+	attn    []*mat.Matrix // softmax scores, one seqQ x seqK matrix per head
+	causal  bool
+	seqQ    int
+	seqK    int
+}
+
+// NewMultiHeadAttention creates an H-head attention block over dim
+// features; dim must be divisible by heads.
+func NewMultiHeadAttention(name string, dim, heads int, rng *rand.Rand) *MultiHeadAttention {
+	if dim%heads != 0 {
+		panic(fmt.Sprintf("transformer: dim %d not divisible by heads %d", dim, heads))
+	}
+	return &MultiHeadAttention{
+		Dim: dim, Heads: heads, HeadDim: dim / heads,
+		WQ: nn.NewLinear(name+".wq", dim, dim, rng),
+		WK: nn.NewLinear(name+".wk", dim, dim, rng),
+		WV: nn.NewLinear(name+".wv", dim, dim, rng),
+		WO: nn.NewLinear(name+".wo", dim, dim, rng),
+	}
+}
+
+// Params implements nn.Module.
+func (a *MultiHeadAttention) Params() []*nn.Parameter {
+	return nn.CollectParams(a.WQ, a.WK, a.WV, a.WO)
+}
+
+// Forward computes attention of queries (seqQ x dim) over keys/values
+// (seqK x dim). Pass q == kv for self-attention. When causal is true,
+// position i may only attend to positions <= i (requires seqQ == seqK).
+func (a *MultiHeadAttention) Forward(q, kv *mat.Matrix, causal bool) *mat.Matrix {
+	a.causal = causal
+	a.seqQ, a.seqK = q.Rows, kv.Rows
+	if causal && q.Rows != kv.Rows {
+		panic("transformer: causal attention requires seqQ == seqK")
+	}
+	a.q = a.WQ.Forward(q)
+	a.k = a.WK.Forward(kv)
+	a.v = a.WV.Forward(kv)
+
+	concat := mat.New(q.Rows, a.Dim)
+	a.attn = make([]*mat.Matrix, a.Heads)
+	scale := 1 / math.Sqrt(float64(a.HeadDim))
+	for h := 0; h < a.Heads; h++ {
+		qh := a.headView(a.q, h)
+		kh := a.headView(a.k, h)
+		vh := a.headView(a.v, h)
+		scores := mat.New(q.Rows, kv.Rows)
+		mat.MatMulT(scores, qh, kh)
+		scores.Scale(scale)
+		if causal {
+			for i := 0; i < scores.Rows; i++ {
+				row := scores.Row(i)
+				for j := i + 1; j < len(row); j++ {
+					row[j] = math.Inf(-1)
+				}
+			}
+		}
+		scores.SoftmaxRows()
+		a.attn[h] = scores
+		oh := mat.New(q.Rows, a.HeadDim)
+		mat.MatMul(oh, scores, vh)
+		a.setHead(concat, oh, h)
+	}
+	return a.WO.Forward(concat)
+}
+
+// Backward propagates the upstream gradient, accumulating parameter
+// gradients, and returns (dQin, dKVin). For self-attention the caller
+// must sum both into the single input gradient.
+func (a *MultiHeadAttention) Backward(dy *mat.Matrix) (dq, dkv *mat.Matrix) {
+	dconcat := a.WO.Backward(dy)
+
+	dQ := mat.New(a.seqQ, a.Dim)
+	dK := mat.New(a.seqK, a.Dim)
+	dV := mat.New(a.seqK, a.Dim)
+	scale := 1 / math.Sqrt(float64(a.HeadDim))
+
+	for h := 0; h < a.Heads; h++ {
+		doh := a.headView(dconcat, h)
+		attn := a.attn[h]
+		vh := a.headView(a.v, h)
+		qh := a.headView(a.q, h)
+		kh := a.headView(a.k, h)
+
+		// dAttn = doh @ vh^T ; dVh = attn^T @ doh
+		dattn := mat.New(a.seqQ, a.seqK)
+		mat.MatMulT(dattn, doh, vh)
+		dvh := mat.New(a.seqK, a.HeadDim)
+		mat.MatMulTA(dvh, attn, doh)
+
+		// softmax backward: ds = attn * (dattn - rowdot(dattn, attn))
+		dscores := mat.New(a.seqQ, a.seqK)
+		for i := 0; i < a.seqQ; i++ {
+			ar := attn.Row(i)
+			dr := dattn.Row(i)
+			dot := mat.Dot(dr, ar)
+			out := dscores.Row(i)
+			for j := range out {
+				out[j] = ar[j] * (dr[j] - dot) * scale
+			}
+		}
+
+		// dQh = dscores @ kh ; dKh = dscores^T @ qh
+		dqh := mat.New(a.seqQ, a.HeadDim)
+		mat.MatMul(dqh, dscores, kh)
+		dkh := mat.New(a.seqK, a.HeadDim)
+		mat.MatMulTA(dkh, dscores, qh)
+
+		a.addHead(dQ, dqh, h)
+		a.addHead(dK, dkh, h)
+		a.addHead(dV, dvh, h)
+	}
+
+	dqin := a.WQ.Backward(dQ)
+	dkin := a.WK.Backward(dK)
+	dvin := a.WV.Backward(dV)
+	dkin.Add(dvin)
+	return dqin, dkin
+}
+
+// headView copies the h-th head slice (columns [h*hd, (h+1)*hd)) of x.
+func (a *MultiHeadAttention) headView(x *mat.Matrix, h int) *mat.Matrix {
+	hd := a.HeadDim
+	out := mat.New(x.Rows, hd)
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Row(i), x.Row(i)[h*hd:(h+1)*hd])
+	}
+	return out
+}
+
+func (a *MultiHeadAttention) setHead(dst, src *mat.Matrix, h int) {
+	hd := a.HeadDim
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Row(i)[h*hd:(h+1)*hd], src.Row(i))
+	}
+}
+
+func (a *MultiHeadAttention) addHead(dst, src *mat.Matrix, h int) {
+	hd := a.HeadDim
+	for i := 0; i < src.Rows; i++ {
+		drow := dst.Row(i)[h*hd : (h+1)*hd]
+		for j, v := range src.Row(i) {
+			drow[j] += v
+		}
+	}
+}

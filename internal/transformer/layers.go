@@ -1,0 +1,142 @@
+package transformer
+
+import (
+	"math/rand"
+
+	"rt3/internal/mat"
+	"rt3/internal/nn"
+)
+
+// FeedForward is the position-wise two-layer MLP of a Transformer block.
+type FeedForward struct {
+	L1, L2 *nn.Linear
+	Act    *nn.GELU
+}
+
+// NewFeedForward creates dim -> hidden -> dim with GELU in between.
+func NewFeedForward(name string, dim, hidden int, rng *rand.Rand) *FeedForward {
+	return &FeedForward{
+		L1:  nn.NewLinear(name+".ff1", dim, hidden, rng),
+		L2:  nn.NewLinear(name+".ff2", hidden, dim, rng),
+		Act: &nn.GELU{},
+	}
+}
+
+// Params implements nn.Module.
+func (f *FeedForward) Params() []*nn.Parameter { return nn.CollectParams(f.L1, f.L2) }
+
+// Forward applies the MLP to every row of x.
+func (f *FeedForward) Forward(x *mat.Matrix) *mat.Matrix {
+	return f.L2.Forward(f.Act.Forward(f.L1.Forward(x)))
+}
+
+// Backward propagates the upstream gradient.
+func (f *FeedForward) Backward(dy *mat.Matrix) *mat.Matrix {
+	return f.L1.Backward(f.Act.Backward(f.L2.Backward(dy)))
+}
+
+// EncoderLayer is a post-LN Transformer encoder block:
+// x = LN(x + SelfAttn(x)); x = LN(x + FFN(x)).
+type EncoderLayer struct {
+	Attn *MultiHeadAttention
+	FF   *FeedForward
+	LN1  *nn.LayerNorm
+	LN2  *nn.LayerNorm
+}
+
+// NewEncoderLayer constructs one encoder block.
+func NewEncoderLayer(name string, dim, heads, ffHidden int, rng *rand.Rand) *EncoderLayer {
+	return &EncoderLayer{
+		Attn: NewMultiHeadAttention(name+".attn", dim, heads, rng),
+		FF:   NewFeedForward(name, dim, ffHidden, rng),
+		LN1:  nn.NewLayerNorm(name+".ln1", dim),
+		LN2:  nn.NewLayerNorm(name+".ln2", dim),
+	}
+}
+
+// Params implements nn.Module.
+func (e *EncoderLayer) Params() []*nn.Parameter {
+	return nn.CollectParams(e.Attn, e.FF, e.LN1, e.LN2)
+}
+
+// Forward runs the block on a seq x dim input.
+func (e *EncoderLayer) Forward(x *mat.Matrix) *mat.Matrix {
+	a := e.Attn.Forward(x, x, false)
+	a.Add(x)
+	h := e.LN1.Forward(a)
+	f := e.FF.Forward(h)
+	f.Add(h)
+	return e.LN2.Forward(f)
+}
+
+// Backward propagates through the block and returns dL/dx.
+func (e *EncoderLayer) Backward(dy *mat.Matrix) *mat.Matrix {
+	d := e.LN2.Backward(dy)
+	dh := e.FF.Backward(d)
+	dh.Add(d) // residual
+	d2 := e.LN1.Backward(dh)
+	dq, dkv := e.Attn.Backward(d2)
+	dq.Add(dkv)
+	dq.Add(d2) // residual
+	return dq
+}
+
+// DecoderLayer is a post-LN Transformer decoder block with causal
+// self-attention, cross-attention over encoder memory, and an FFN.
+type DecoderLayer struct {
+	SelfAttn  *MultiHeadAttention
+	CrossAttn *MultiHeadAttention
+	FF        *FeedForward
+	LN1       *nn.LayerNorm
+	LN2       *nn.LayerNorm
+	LN3       *nn.LayerNorm
+}
+
+// NewDecoderLayer constructs one decoder block.
+func NewDecoderLayer(name string, dim, heads, ffHidden int, rng *rand.Rand) *DecoderLayer {
+	return &DecoderLayer{
+		SelfAttn:  NewMultiHeadAttention(name+".self", dim, heads, rng),
+		CrossAttn: NewMultiHeadAttention(name+".cross", dim, heads, rng),
+		FF:        NewFeedForward(name, dim, ffHidden, rng),
+		LN1:       nn.NewLayerNorm(name+".ln1", dim),
+		LN2:       nn.NewLayerNorm(name+".ln2", dim),
+		LN3:       nn.NewLayerNorm(name+".ln3", dim),
+	}
+}
+
+// Params implements nn.Module.
+func (d *DecoderLayer) Params() []*nn.Parameter {
+	return nn.CollectParams(d.SelfAttn, d.CrossAttn, d.FF, d.LN1, d.LN2, d.LN3)
+}
+
+// Forward runs the block on x (seq x dim) attending to memory.
+func (d *DecoderLayer) Forward(x, memory *mat.Matrix) *mat.Matrix {
+	a := d.SelfAttn.Forward(x, x, true)
+	a.Add(x)
+	h1 := d.LN1.Forward(a)
+
+	c := d.CrossAttn.Forward(h1, memory, false)
+	c.Add(h1)
+	h2 := d.LN2.Forward(c)
+
+	f := d.FF.Forward(h2)
+	f.Add(h2)
+	return d.LN3.Forward(f)
+}
+
+// Backward propagates, returning (dL/dx, dL/dmemory).
+func (d *DecoderLayer) Backward(dy *mat.Matrix) (dx, dmem *mat.Matrix) {
+	g := d.LN3.Backward(dy)
+	dh2 := d.FF.Backward(g)
+	dh2.Add(g)
+
+	g2 := d.LN2.Backward(dh2)
+	dq, dm := d.CrossAttn.Backward(g2)
+	dq.Add(g2)
+
+	g3 := d.LN1.Backward(dq)
+	dsq, dskv := d.SelfAttn.Backward(g3)
+	dsq.Add(dskv)
+	dsq.Add(g3)
+	return dsq, dm
+}

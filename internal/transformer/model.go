@@ -1,0 +1,241 @@
+package transformer
+
+import (
+	"math"
+	"math/rand"
+
+	"rt3/internal/mat"
+	"rt3/internal/nn"
+)
+
+// Config describes a model instance. The paper's Transformer uses two
+// encoder and one decoder layers on WikiText-2; its DistilBERT has six
+// encoder layers. This reproduction keeps those topologies at laptop
+// scale (see DESIGN.md, decision 5).
+type Config struct {
+	Vocab     int // vocabulary size (LM) or input token space (classifier)
+	Dim       int // model width d_model
+	Heads     int // attention heads
+	FFHidden  int // position-wise MLP hidden width
+	EncLayers int // number of encoder layers
+	DecLayers int // number of decoder layers (LM only)
+	SeqLen    int // maximum sequence length
+	Classes   int // output classes (classifier only)
+}
+
+// PositionalEncoding returns the fixed sinusoidal position table
+// (seqLen x dim) from "Attention Is All You Need".
+func PositionalEncoding(seqLen, dim int) *mat.Matrix {
+	pe := mat.New(seqLen, dim)
+	for pos := 0; pos < seqLen; pos++ {
+		for i := 0; i < dim; i++ {
+			angle := float64(pos) / math.Pow(10000, float64(2*(i/2))/float64(dim))
+			if i%2 == 0 {
+				pe.Set(pos, i, math.Sin(angle))
+			} else {
+				pe.Set(pos, i, math.Cos(angle))
+			}
+		}
+	}
+	return pe
+}
+
+// LMModel is the encoder-decoder next-word-prediction Transformer used
+// for the WikiText-2-style experiments. The same token sequence feeds
+// the encoder and (causally) the decoder; logits at position t predict
+// token t+1.
+type LMModel struct {
+	Cfg     Config
+	Embed   *nn.Embedding
+	Pos     *mat.Matrix
+	Enc     []*EncoderLayer
+	Dec     []*DecoderLayer
+	Proj    *nn.Linear
+	nparams []*nn.Parameter
+}
+
+// NewLMModel builds the language model described by cfg.
+func NewLMModel(cfg Config, rng *rand.Rand) *LMModel {
+	m := &LMModel{
+		Cfg:   cfg,
+		Embed: nn.NewEmbedding("embed", cfg.Vocab, cfg.Dim, rng),
+		Pos:   PositionalEncoding(cfg.SeqLen, cfg.Dim),
+		Proj:  nn.NewLinear("proj", cfg.Dim, cfg.Vocab, rng),
+	}
+	for i := 0; i < cfg.EncLayers; i++ {
+		m.Enc = append(m.Enc, NewEncoderLayer(layerName("enc", i), cfg.Dim, cfg.Heads, cfg.FFHidden, rng))
+	}
+	for i := 0; i < cfg.DecLayers; i++ {
+		m.Dec = append(m.Dec, NewDecoderLayer(layerName("dec", i), cfg.Dim, cfg.Heads, cfg.FFHidden, rng))
+	}
+	m.nparams = m.collect()
+	return m
+}
+
+func layerName(prefix string, i int) string {
+	return prefix + "." + string(rune('0'+i))
+}
+
+func (m *LMModel) collect() []*nn.Parameter {
+	ps := nn.CollectParams(m.Embed)
+	for _, e := range m.Enc {
+		ps = append(ps, e.Params()...)
+	}
+	for _, d := range m.Dec {
+		ps = append(ps, d.Params()...)
+	}
+	return append(ps, m.Proj.Params()...)
+}
+
+// Params implements nn.Module.
+func (m *LMModel) Params() []*nn.Parameter { return m.nparams }
+
+// Forward returns next-token logits (seq x vocab) for the id sequence.
+func (m *LMModel) Forward(ids []int) *mat.Matrix {
+	x := m.Embed.Forward(ids)
+	for i := range ids {
+		row := x.Row(i)
+		pe := m.Pos.Row(i % m.Pos.Rows)
+		for j := range row {
+			row[j] += pe[j]
+		}
+	}
+	h := x
+	for _, e := range m.Enc {
+		h = e.Forward(h)
+	}
+	memory := h
+	d := x.Clone()
+	for _, dec := range m.Dec {
+		d = dec.Forward(d, memory)
+	}
+	if len(m.Dec) == 0 {
+		d = memory
+	}
+	return m.Proj.Forward(d)
+}
+
+// Backward propagates dlogits through the whole model, accumulating
+// parameter gradients. Forward must have been called first with the same
+// sequence.
+func (m *LMModel) Backward(dlogits *mat.Matrix) {
+	d := m.Proj.Backward(dlogits)
+	var dmemTotal *mat.Matrix
+	if len(m.Dec) > 0 {
+		for i := len(m.Dec) - 1; i >= 0; i-- {
+			var dmem *mat.Matrix
+			d, dmem = m.Dec[i].Backward(d)
+			if dmemTotal == nil {
+				dmemTotal = dmem
+			} else {
+				dmemTotal.Add(dmem)
+			}
+		}
+	} else {
+		dmemTotal = d
+		d = mat.New(d.Rows, d.Cols)
+	}
+	// encoder path receives the memory gradient
+	e := dmemTotal
+	for i := len(m.Enc) - 1; i >= 0; i-- {
+		e = m.Enc[i].Backward(e)
+	}
+	// embedding input was used by both encoder and decoder streams
+	e.Add(d)
+	m.Embed.Backward(e)
+}
+
+// Loss computes mean next-token cross-entropy for ids; targets[i] is the
+// token that should follow ids[i].
+func (m *LMModel) Loss(ids, targets []int) (float64, *mat.Matrix) {
+	logits := m.Forward(ids)
+	return nn.SoftmaxCrossEntropy(logits, targets)
+}
+
+// Accuracy returns next-word prediction accuracy over the sequence.
+func (m *LMModel) Accuracy(ids, targets []int) float64 {
+	logits := m.Forward(ids)
+	return nn.AccuracyFromLogits(logits, targets)
+}
+
+// Classifier is the DistilBERT-like encoder stack with a mean-pooled
+// classification head, used for the GLUE-style tasks. With Classes == 1
+// it acts as a regressor (STS-B).
+type Classifier struct {
+	Cfg     Config
+	Embed   *nn.Embedding
+	Pos     *mat.Matrix
+	Enc     []*EncoderLayer
+	Head    *nn.Linear
+	nparams []*nn.Parameter
+
+	seqLen int
+}
+
+// NewClassifier builds the classifier/regressor described by cfg.
+func NewClassifier(cfg Config, rng *rand.Rand) *Classifier {
+	c := &Classifier{
+		Cfg:   cfg,
+		Embed: nn.NewEmbedding("embed", cfg.Vocab, cfg.Dim, rng),
+		Pos:   PositionalEncoding(cfg.SeqLen, cfg.Dim),
+		Head:  nn.NewLinear("head", cfg.Dim, cfg.Classes, rng),
+	}
+	for i := 0; i < cfg.EncLayers; i++ {
+		c.Enc = append(c.Enc, NewEncoderLayer(layerName("enc", i), cfg.Dim, cfg.Heads, cfg.FFHidden, rng))
+	}
+	ps := nn.CollectParams(c.Embed)
+	for _, e := range c.Enc {
+		ps = append(ps, e.Params()...)
+	}
+	c.nparams = append(ps, c.Head.Params()...)
+	return c
+}
+
+// Params implements nn.Module.
+func (c *Classifier) Params() []*nn.Parameter { return c.nparams }
+
+// Forward returns the 1 x Classes output for the token sequence.
+func (c *Classifier) Forward(ids []int) *mat.Matrix {
+	c.seqLen = len(ids)
+	x := c.Embed.Forward(ids)
+	for i := range ids {
+		row := x.Row(i)
+		pe := c.Pos.Row(i % c.Pos.Rows)
+		for j := range row {
+			row[j] += pe[j]
+		}
+	}
+	h := x
+	for _, e := range c.Enc {
+		h = e.Forward(h)
+	}
+	// mean pool over positions
+	pooled := mat.New(1, c.Cfg.Dim)
+	for i := 0; i < h.Rows; i++ {
+		row := h.Row(i)
+		for j, v := range row {
+			pooled.Data[j] += v
+		}
+	}
+	pooled.Scale(1 / float64(h.Rows))
+	return c.Head.Forward(pooled)
+}
+
+// Backward propagates the 1 x Classes upstream gradient.
+func (c *Classifier) Backward(dout *mat.Matrix) {
+	dpool := c.Head.Backward(dout)
+	// un-pool: each position receives dpool / seqLen
+	dh := mat.New(c.seqLen, c.Cfg.Dim)
+	inv := 1 / float64(c.seqLen)
+	for i := 0; i < c.seqLen; i++ {
+		row := dh.Row(i)
+		for j := range row {
+			row[j] = dpool.Data[j] * inv
+		}
+	}
+	d := dh
+	for i := len(c.Enc) - 1; i >= 0; i-- {
+		d = c.Enc[i].Backward(d)
+	}
+	c.Embed.Backward(d)
+}
