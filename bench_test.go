@@ -14,6 +14,7 @@ package bench
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"rt3/internal/deploy"
 	"rt3/internal/dvfs"
@@ -23,6 +24,8 @@ import (
 	"rt3/internal/pattern"
 	"rt3/internal/prune"
 	"rt3/internal/rt3"
+	"rt3/internal/rtswitch"
+	"rt3/internal/serve"
 	"rt3/internal/sparse"
 	"rt3/internal/transformer"
 )
@@ -433,6 +436,66 @@ func BenchmarkSparseKernels(b *testing.B) {
 			packed.MulMat(x)
 		}
 	})
+}
+
+// BenchmarkServeThroughput measures batched request throughput through
+// the full serving path (queue -> dynamic batcher -> worker pool ->
+// packed kernels) at each deployed V/F level — the perf baseline for
+// future serving-path PRs. ns/op is per completed request.
+func BenchmarkServeThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	model := transformer.NewClassifier(transformer.Config{
+		Vocab: 24, Dim: 16, Heads: 2, FFHidden: 32, EncLayers: 2, SeqLen: 10, Classes: 3,
+	}, rng)
+	ref := model.PrunableLinears()[0].W.Value
+	var sets []*pattern.Set
+	for _, sp := range []float64{0.3, 0.5, 0.7} {
+		sets = append(sets, pattern.GenerateSet(ref, 4, sp, 3, rng))
+	}
+	bundle := serve.BundleFromModel(model, sets, []string{"l6", "l4", "l3"})
+	eng, err := serve.NewEngine(bundle,
+		[]serve.Model{model.Clone(), model.Clone()}, rtswitch.DefaultSwitchCostModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := make([]int, 10)
+	for i := range seq {
+		seq[i] = rng.Intn(24)
+	}
+	for lvl := 0; lvl < eng.NumLevels(); lvl++ {
+		lvl := lvl
+		b.Run(eng.LevelName(lvl), func(b *testing.B) {
+			// a fresh server per sub-benchmark keeps the latency recorder
+			// from accumulating across runs and skewing later levels
+			s := serve.New(eng, serve.Config{MaxBatch: 8, MaxDelay: time.Millisecond, QueueCap: 1024})
+			s.Start()
+			defer s.Stop()
+			if _, err := s.SwitchTo(lvl); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			const wave = 256
+			chans := make([]<-chan serve.Response, 0, wave)
+			for done := 0; done < b.N; {
+				n := wave
+				if b.N-done < n {
+					n = b.N - done
+				}
+				chans = chans[:0]
+				for i := 0; i < n; i++ {
+					ch, err := s.Submit(seq)
+					if err != nil {
+						b.Fatal(err)
+					}
+					chans = append(chans, ch)
+				}
+				for _, ch := range chans {
+					<-ch
+				}
+				done += n
+			}
+		})
+	}
 }
 
 // BenchmarkDeployBundle measures serializing and re-loading a deployment

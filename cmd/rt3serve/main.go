@@ -1,0 +1,197 @@
+// Command rt3serve runs the batched, reconfiguration-aware inference
+// server on a synthetic deployment: it packs a DistilBERT-style
+// classifier plus one pattern set per V/F level into a deploy bundle,
+// loads the bundle into internal/serve, and either prints the
+// deployment summary with a smoke inference per level (default) or
+// replays an open-loop traffic ramp against a simulated draining
+// battery (-load), reporting per-level p50/p95/p99 latency, throughput,
+// live switch count and total reconfiguration overhead, with every
+// response verified against masked dense execution.
+//
+// Usage:
+//
+//	rt3serve
+//	rt3serve -load
+//	rt3serve -load -policy rl -duration 3s -rps-start 200 -rps-end 900
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"rt3/internal/deploy"
+	"rt3/internal/dvfs"
+	"rt3/internal/pattern"
+	"rt3/internal/rtswitch"
+	"rt3/internal/serve"
+	"rt3/internal/transformer"
+)
+
+// evalLevelNames are the paper's evaluation levels, fastest first, with
+// the sparsity deployed at each (sparser sets for slower levels keep the
+// timing constraint satisfiable, Table III's shape).
+var (
+	evalLevelNames = []string{"l6", "l4", "l3"}
+	evalSparsities = []float64{0.3, 0.5, 0.7}
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rt3serve: ")
+	var (
+		load     = flag.Bool("load", false, "replay an open-loop traffic ramp and report latency/switching")
+		duration = flag.Duration("duration", 2*time.Second, "load-generator duration")
+		rpsStart = flag.Float64("rps-start", 200, "arrival rate at the start of the ramp")
+		rpsEnd   = flag.Float64("rps-end", 800, "arrival rate at the end of the ramp")
+		workers  = flag.Int("workers", 2, "worker pool width (model replicas)")
+		batch    = flag.Int("batch", 8, "max dynamic batch size")
+		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "batch flush deadline")
+		policyN  = flag.String("policy", "governor", "level policy: governor or rl")
+		batteryJ = flag.Float64("battery-j", 0.25, "simulated battery capacity in joules (0 disables)")
+		targetMS = flag.Float64("target-ms", 50, "latency objective fed to the policy")
+		seed     = flag.Int64("seed", 1, "rng seed")
+		verify   = flag.Bool("verify", true, "check every response against dense execution")
+	)
+	flag.Parse()
+
+	eng, bundleBytes, bundle := buildDeployment(*seed, *workers)
+	printDeployment(bundle, bundleBytes)
+
+	// smoke mode switches levels manually; only the load demo wants a
+	// policy fighting for the level
+	var pol serve.Policy
+	if *load {
+		var err error
+		pol, err = buildPolicy(*policyN, eng, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	srv := serve.New(eng, serve.Config{
+		MaxBatch:    *batch,
+		MaxDelay:    *maxDelay,
+		QueueCap:    4096,
+		Policy:      pol,
+		PolicyEvery: 10 * time.Millisecond,
+		TargetMS:    *targetMS,
+		BatteryJ:    *batteryJ,
+	})
+	srv.Start()
+	defer srv.Stop()
+
+	if !*load {
+		smoke(srv, *seed)
+		return
+	}
+
+	fmt.Printf("replaying %.0f->%.0f req/s over %s (policy %s, battery %.2f J)\n\n",
+		*rpsStart, *rpsEnd, *duration, *policyN, *batteryJ)
+	report, err := serve.RunLoad(srv, serve.LoadSpec{
+		Duration: *duration,
+		StartRPS: *rpsStart,
+		EndRPS:   *rpsEnd,
+		SeqLen:   10,
+		Vocab:    24,
+		Seed:     *seed,
+		Verify:   *verify,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+	if report.Switches == 0 {
+		log.Fatal("demo expected at least one live level switch; raise -duration or lower -battery-j")
+	}
+	if report.Dropped > 0 || report.Mismatches > 0 {
+		log.Fatalf("demo failed: %d dropped, %d incorrect", report.Dropped, report.Mismatches)
+	}
+}
+
+// buildDeployment constructs the classifier, serializes its bundle, and
+// deploys it onto cloned worker replicas.
+func buildDeployment(seed int64, workers int) (*serve.Engine, int, *deploy.Bundle) {
+	rng := rand.New(rand.NewSource(seed))
+	model := transformer.NewClassifier(transformer.Config{
+		Vocab: 24, Dim: 16, Heads: 2, FFHidden: 32, EncLayers: 2, SeqLen: 10, Classes: 3,
+	}, rng)
+	ref := model.PrunableLinears()[0].W.Value
+	var sets []*pattern.Set
+	for _, sp := range evalSparsities {
+		sets = append(sets, pattern.GenerateSet(ref, 4, sp, 3, rng))
+	}
+	data, err := serve.BundleFromModel(model, sets, evalLevelNames).Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := deploy.Decode(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var replicas []serve.Model
+	for i := 0; i < workers; i++ {
+		replicas = append(replicas, model.Clone())
+	}
+	eng, err := serve.NewEngine(loaded, replicas, rtswitch.DefaultSwitchCostModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return eng, len(data), loaded
+}
+
+// printDeployment echoes the paper's deployment story: the switchable
+// section is tiny next to the artifact, so a live level switch costs
+// milliseconds where a model reload costs seconds.
+func printDeployment(b *deploy.Bundle, bundleBytes int) {
+	costs := rtswitch.DefaultSwitchCostModel()
+	fmt.Printf("bundle: %d weights, %d levels, %d bytes total\n", len(b.Weights), len(b.Sets), bundleBytes)
+	for i, name := range b.LevelNames {
+		setBytes, err := b.SetBytes(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-3s sparsity %.2f  section %4d B  swap %6.3f ms  (reload %7.1f ms)\n",
+			name, b.Sets[i].Sparsity, setBytes,
+			costs.PatternSwitchMS(setBytes), costs.ModelSwitchMS(bundleBytes))
+	}
+	fmt.Println()
+}
+
+// buildPolicy resolves the -policy flag.
+func buildPolicy(name string, eng *serve.Engine, seed int64) (serve.Policy, error) {
+	switch name {
+	case "governor":
+		return serve.NewGovernorPolicy(eng.Levels(), 64), nil
+	case "rl":
+		return serve.NewRLPolicy(eng.Levels(), dvfs.DefaultPowerModel(), seed)
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want governor or rl)", name)
+	}
+}
+
+// smoke sends a few requests through each level and prints the digests.
+func smoke(srv *serve.Server, seed int64) {
+	rng := rand.New(rand.NewSource(seed + 1))
+	eng := srv.Engine()
+	for lvl := 0; lvl < eng.NumLevels(); lvl++ {
+		if _, err := srv.SwitchTo(lvl); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			seq := make([]int, 10)
+			for j := range seq {
+				seq[j] = rng.Intn(24)
+			}
+			ch, err := srv.Submit(seq)
+			if err != nil {
+				log.Fatal(err)
+			}
+			<-ch
+		}
+	}
+	fmt.Print(serve.FormatLevelStats(srv.Recorder().Snapshot()))
+	n, modelMS, wallMS := srv.Recorder().Switches()
+	fmt.Printf("switches %d  modeled swap cost %.3f ms  kernel install %.3f ms\n", n, modelMS, wallMS)
+}

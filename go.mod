@@ -1,0 +1,3 @@
+module rt3
+
+go 1.22

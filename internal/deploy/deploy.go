@@ -202,6 +202,16 @@ func Decode(data []byte) (*Bundle, error) {
 	return Read(bytes.NewReader(data))
 }
 
+// WeightByName returns the backbone matrix with the given parameter name.
+func (b *Bundle) WeightByName(name string) (*WeightMatrix, error) {
+	for i := range b.Weights {
+		if b.Weights[i].Name == name {
+			return &b.Weights[i], nil
+		}
+	}
+	return nil, fmt.Errorf("deploy: no weight named %q", name)
+}
+
 // SetBytes returns the serialized size of the i-th pattern-set section —
 // the bytes a run-time level switch must move.
 func (b *Bundle) SetBytes(i int) (int, error) {

@@ -46,6 +46,9 @@ func TestTableIIShape(t *testing.T) {
 }
 
 func TestTableIIIWikiTextTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full AutoML pipeline")
+	}
 	res, err := TableIII(ScaleTiny, Table3Spec{Dataset: "WikiText-2", TimingMS: 104, DenseMS: 160, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -73,6 +76,9 @@ func TestTableIIIWikiTextTiny(t *testing.T) {
 }
 
 func TestFigure3aFrontsDominate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full searches")
+	}
 	res, err := Figure3a(ScaleTiny)
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +90,9 @@ func TestFigure3aFrontsDominate(t *testing.T) {
 }
 
 func TestFigure3bcSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the per-level sub-models")
+	}
 	res, err := Figure3bc(ScaleTiny, 104)
 	if err != nil {
 		t.Fatal(err)
@@ -98,6 +107,9 @@ func TestFigure3bcSeries(t *testing.T) {
 }
 
 func TestFigure4Patterns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prunes and retrains a backbone")
+	}
 	res, err := Figure4(ScaleTiny)
 	if err != nil {
 		t.Fatal(err)

@@ -107,6 +107,33 @@ func SpearmanRho(x, y []float64) float64 {
 	return PearsonR(ranks(x), ranks(y))
 }
 
+// Quantile returns the q-quantile of values (q in [0, 1]) with linear
+// interpolation between order statistics — the estimator behind the
+// serving-path p50/p95/p99 latency reports. The input need not be sorted
+// and is not modified. An empty input returns 0.
+func Quantile(values []float64, q float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
 // ranks converts values to average fractional ranks.
 func ranks(v []float64) []float64 {
 	n := len(v)

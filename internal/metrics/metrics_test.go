@@ -120,3 +120,27 @@ func TestMismatchedLengthsPanic(t *testing.T) {
 		}()
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	v := []float64{5, 1, 3, 2, 4}
+	if q := Quantile(v, 0.5); q != 3 {
+		t.Fatalf("median %g want 3", q)
+	}
+	if q := Quantile(v, 0); q != 1 {
+		t.Fatalf("min %g want 1", q)
+	}
+	if q := Quantile(v, 1); q != 5 {
+		t.Fatalf("max %g want 5", q)
+	}
+	// linear interpolation between order statistics
+	if q := Quantile([]float64{1, 2}, 0.75); math.Abs(q-1.75) > 1e-12 {
+		t.Fatalf("interpolated quantile %g want 1.75", q)
+	}
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile %g want 0", q)
+	}
+	// input must not be reordered
+	if v[0] != 5 || v[4] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}

@@ -7,12 +7,23 @@ import (
 	"rt3/internal/mat"
 )
 
+// MatMultiplier computes Y = X @ W from a packed representation of W
+// (see internal/sparse). Installing one on a Linear switches its forward
+// pass to the packed kernel — the serving-time execution path after an
+// RT3 pattern-set swap — without touching the dense weights.
+type MatMultiplier interface {
+	MulMat(x *mat.Matrix) *mat.Matrix
+}
+
 // Linear is a fully connected layer computing Y = X @ W + b, where X is
 // batch x in, W is in x out and b is 1 x out.
 type Linear struct {
 	In, Out int
 	W       *Parameter
 	B       *Parameter
+
+	// mul, when non-nil, replaces the dense X @ W product in Forward.
+	mul MatMultiplier
 
 	// cached forward input for the backward pass
 	x *mat.Matrix
@@ -33,12 +44,26 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 // Params implements Module.
 func (l *Linear) Params() []*Parameter { return []*Parameter{l.W, l.B} }
 
+// SetMultiplier installs a packed kernel used by Forward in place of the
+// dense X @ W product; nil restores dense execution. The backward pass
+// always differentiates through the dense weights, so training code must
+// not leave a multiplier installed across weight updates.
+func (l *Linear) SetMultiplier(m MatMultiplier) { l.mul = m }
+
+// Multiplier returns the installed packed kernel, or nil when dense.
+func (l *Linear) Multiplier() MatMultiplier { return l.mul }
+
 // Forward computes the affine map for a batch x In input.
 func (l *Linear) Forward(x *mat.Matrix) *mat.Matrix {
 	if x.Cols != l.In {
 		panic(fmt.Sprintf("nn: Linear %s input cols %d != in %d", l.W.Name, x.Cols, l.In))
 	}
 	l.x = x
+	if l.mul != nil {
+		y := l.mul.MulMat(x)
+		y.AddRowVector(l.B.Value.Data)
+		return y
+	}
 	y := mat.New(x.Rows, l.Out)
 	mat.MatMul(y, x, l.W.Value)
 	y.AddRowVector(l.B.Value.Data)

@@ -141,6 +141,18 @@ func (c *Controller) Greedy() *Episode {
 	return ep
 }
 
+// SampleSet draws a single set-head decision as a one-step episode.
+// The serving-time level policy uses this to pick one of NumSets actions
+// (one per V/F level) without unrolling pattern choices; the returned
+// episode feeds Reinforce like any other.
+func (c *Controller) SampleSet(rng *rand.Rand) *Episode {
+	ep := &Episode{}
+	h := make([]float64, c.Cfg.Hidden)
+	c.step(h, 0, true, rng, ep)
+	ep.SetChoices = []int{ep.steps[0].action}
+	return ep
+}
+
 // step advances the RNN one decision, sampling from the relevant head.
 func (c *Controller) step(hPrev []float64, inputIdx int, isSet bool, rng *rand.Rand, ep *Episode) []float64 {
 	h, probs := c.forward(hPrev, inputIdx, isSet)

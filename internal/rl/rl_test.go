@@ -230,3 +230,23 @@ func TestRewardWeightedAccuracy(t *testing.T) {
 		t.Fatalf("weighted acc %g want 0.75", res.WeightedAcc)
 	}
 }
+
+func TestSampleSetSingleDecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	c, err := NewController(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := c.SampleSet(rng)
+	if len(ep.SetChoices) != 1 || len(ep.PatternChoices) != 0 {
+		t.Fatalf("episode shape %d/%d, want 1 set decision only", len(ep.SetChoices), len(ep.PatternChoices))
+	}
+	if a := ep.SetChoices[0]; a < 0 || a >= testConfig().NumSets {
+		t.Fatalf("action %d out of range", a)
+	}
+	if ep.LogProb >= 0 {
+		t.Fatalf("log prob %g should be negative", ep.LogProb)
+	}
+	// the one-step episode must feed REINFORCE without panicking
+	c.Reinforce(ep, 0.5)
+}

@@ -9,6 +9,7 @@ package rtswitch
 import (
 	"fmt"
 
+	"rt3/internal/deploy"
 	"rt3/internal/dvfs"
 )
 
@@ -160,6 +161,31 @@ func NewReconfigurator(levels []dvfs.Level, subs []SubModel, costs SwitchCostMod
 		return nil, fmt.Errorf("rtswitch: levels (%d) and sub-models (%d) must align and be non-empty", len(levels), len(subs))
 	}
 	return &Reconfigurator{Levels: levels, SubModels: subs, Switch: costs}, nil
+}
+
+// FromBundle builds a Reconfigurator straight from a deployment bundle:
+// one sub-model per pattern-set section, with the level resolved by name
+// against Table I and the switch cost charged on the section's serialized
+// size (the bytes a live swap actually moves).
+func FromBundle(b *deploy.Bundle, costs SwitchCostModel) (*Reconfigurator, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	levels := make([]dvfs.Level, len(b.LevelNames))
+	subs := make([]SubModel, len(b.LevelNames))
+	for i, name := range b.LevelNames {
+		lvl, err := dvfs.LevelByName(name)
+		if err != nil {
+			return nil, err
+		}
+		maskBytes, err := b.SetBytes(i)
+		if err != nil {
+			return nil, err
+		}
+		levels[i] = lvl
+		subs[i] = SubModel{Name: name, MaskBytes: maskBytes}
+	}
+	return NewReconfigurator(levels, subs, costs)
 }
 
 // Current returns the active level index.

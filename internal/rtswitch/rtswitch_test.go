@@ -1,9 +1,12 @@
 package rtswitch
 
 import (
+	"math/rand"
 	"testing"
 
+	"rt3/internal/deploy"
 	"rt3/internal/dvfs"
+	"rt3/internal/pattern"
 )
 
 func threeLevels() []dvfs.Level {
@@ -202,5 +205,40 @@ func TestReconfiguratorValidation(t *testing.T) {
 	}
 	if _, err := NewReconfigurator(threeLevels(), []SubModel{{}}, DefaultSwitchCostModel()); err == nil {
 		t.Fatal("mismatched reconfigurator should error")
+	}
+}
+
+func TestFromBundle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	b := &deploy.Bundle{
+		Weights: []deploy.WeightMatrix{{Name: "w", Rows: 4, Cols: 4, Data: make([]float64, 16)}},
+		Sets: []*pattern.Set{
+			pattern.RandomSet(4, 0.3, 2, rng),
+			pattern.RandomSet(4, 0.7, 2, rng),
+		},
+		LevelNames: []string{"l6", "l3"},
+	}
+	r, err := FromBundle(b, DefaultSwitchCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Levels) != 2 || r.Levels[0].Name != "l6" || r.Levels[1].Name != "l3" {
+		t.Fatalf("levels %+v", r.Levels)
+	}
+	setBytes, err := b.SetBytes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := r.SwitchTo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := DefaultSwitchCostModel().PatternSwitchMS(setBytes); cost != want {
+		t.Fatalf("switch cost %g want %g", cost, want)
+	}
+	// unknown level names must be rejected
+	b.LevelNames[0] = "l9"
+	if _, err := FromBundle(b, DefaultSwitchCostModel()); err == nil {
+		t.Fatal("expected error for unknown level")
 	}
 }

@@ -1,0 +1,202 @@
+// Package serve is the online half of the RT3 story: a concurrent,
+// batched inference server whose execution engine runs Transformer
+// forward passes through the pattern-packed sparse kernels and can be
+// hot-reconfigured — swapping the active pattern set and V/F level in
+// place, with in-flight batches drained first and the switch cost
+// charged through the rtswitch cost model. A policy hook (battery
+// governor or RL controller) drives level selection from observed queue
+// depth and simulated battery state, exercising the paper's core claim
+// (cheap pattern-set swaps enable live reconfiguration) under load
+// rather than in a scripted battery simulation.
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"rt3/internal/deploy"
+	"rt3/internal/dvfs"
+	"rt3/internal/mat"
+	"rt3/internal/nn"
+	"rt3/internal/pattern"
+	"rt3/internal/rtswitch"
+	"rt3/internal/sparse"
+)
+
+// Model is the inference surface the engine executes: one token sequence
+// in, one output matrix out, with the prunable projection layers exposed
+// so packed kernels can be installed. Both transformer.Classifier and
+// transformer.LMModel satisfy it.
+type Model interface {
+	Forward(ids []int) *mat.Matrix
+	PrunableLinears() []*nn.Linear
+}
+
+// Engine owns a deployed bundle at run time: the shared dense backbone,
+// one pre-packed kernel set per V/F level, and one model replica per
+// worker (replicas share the read-only packed kernels but keep private
+// layer caches, so workers can run forward passes concurrently).
+type Engine struct {
+	bundle *deploy.Bundle
+	recon  *rtswitch.Reconfigurator
+
+	replicas []Model
+	// weights[j] is the dense backbone matrix feeding prunable linear j
+	// (same order as Model.PrunableLinears).
+	weights []*mat.Matrix
+	// packed[level][j] is the pattern-packed kernel for linear j at level.
+	packed [][]*sparse.Pattern
+
+	// level mirrors recon.Current() for lock-free reads: monitoring code
+	// may call Level concurrently with a switch.
+	level atomic.Int32
+}
+
+// NewEngine deploys a bundle onto the given model replicas: backbone
+// weights are written into every replica's prunable projections, each
+// level's pattern set is packed once, and the first (fastest) level is
+// activated. All replicas must be clones of the same checkpoint.
+func NewEngine(bundle *deploy.Bundle, replicas []Model, costs rtswitch.SwitchCostModel) (*Engine, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("serve: need at least one model replica")
+	}
+	recon, err := rtswitch.FromBundle(bundle, costs)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{bundle: bundle, recon: recon, replicas: replicas}
+
+	lins := replicas[0].PrunableLinears()
+	if len(lins) == 0 {
+		return nil, fmt.Errorf("serve: model has no prunable linears")
+	}
+	for _, l := range lins {
+		wm, err := bundle.WeightByName(l.W.Name)
+		if err != nil {
+			return nil, err
+		}
+		if wm.Rows != l.In || wm.Cols != l.Out {
+			return nil, fmt.Errorf("serve: weight %s is %dx%d, layer wants %dx%d",
+				wm.Name, wm.Rows, wm.Cols, l.In, l.Out)
+		}
+		e.weights = append(e.weights, mat.FromSlice(wm.Rows, wm.Cols, wm.Data))
+	}
+	for ri, r := range e.replicas {
+		rl := r.PrunableLinears()
+		if len(rl) != len(lins) {
+			return nil, fmt.Errorf("serve: replica %d has %d prunable linears, want %d", ri, len(rl), len(lins))
+		}
+		for j, l := range rl {
+			if l.W.Name != lins[j].W.Name {
+				return nil, fmt.Errorf("serve: replica %d linear %d is %s, want %s", ri, j, l.W.Name, lins[j].W.Name)
+			}
+			l.W.Value.CopyFrom(e.weights[j])
+		}
+	}
+	e.packed = make([][]*sparse.Pattern, len(bundle.Sets))
+	for lvl, set := range bundle.Sets {
+		e.packed[lvl] = make([]*sparse.Pattern, len(e.weights))
+		for j, w := range e.weights {
+			p, err := sparse.PackSet(w, set)
+			if err != nil {
+				return nil, fmt.Errorf("serve: packing level %s weight %s: %w", bundle.LevelNames[lvl], lins[j].W.Name, err)
+			}
+			e.packed[lvl][j] = p
+		}
+	}
+	e.install(0)
+	return e, nil
+}
+
+// install points every replica's prunable linears at the packed kernels
+// of the given level. Callers must ensure no forward pass is in flight.
+func (e *Engine) install(level int) {
+	for _, r := range e.replicas {
+		for j, l := range r.PrunableLinears() {
+			l.SetMultiplier(e.packed[level][j])
+		}
+	}
+}
+
+// NumLevels returns the number of deployed V/F levels.
+func (e *Engine) NumLevels() int { return len(e.bundle.Sets) }
+
+// Level returns the active level index. Safe to call concurrently with
+// a switch (monitoring reads the freshest published value).
+func (e *Engine) Level() int { return int(e.level.Load()) }
+
+// LevelName returns the V/F level name of section i.
+func (e *Engine) LevelName(i int) string { return e.bundle.LevelNames[i] }
+
+// Levels returns the resolved V/F operating points, bundle order.
+func (e *Engine) Levels() []dvfs.Level { return e.recon.Levels }
+
+// Replicas returns the worker-pool width.
+func (e *Engine) Replicas() int { return len(e.replicas) }
+
+// SwitchTo activates level idx on every replica and returns the modeled
+// reconfiguration cost in milliseconds (0 when already active). The
+// caller must guarantee no forward pass is in flight — the server drains
+// its workers before calling this.
+func (e *Engine) SwitchTo(idx int) (float64, error) {
+	if idx == e.recon.Current() {
+		return 0, nil
+	}
+	cost, err := e.recon.SwitchTo(idx)
+	if err != nil {
+		return 0, err
+	}
+	e.install(idx)
+	e.level.Store(int32(idx))
+	return cost, nil
+}
+
+// SwitchStats returns the cumulative switch count and modeled time.
+func (e *Engine) SwitchStats() (int, float64) { return e.recon.Stats() }
+
+// Forward runs one inference on the given replica at the active level.
+func (e *Engine) Forward(replica int, ids []int) *mat.Matrix {
+	return e.replicas[replica].Forward(ids)
+}
+
+// DenseForward runs one inference on replica 0 with level idx's mask
+// applied to dense weights and the packed kernels bypassed — the ground
+// truth a packed response must match element-for-element. It restores
+// the active level's packed kernels before returning. Callers must hold
+// the engine quiesced (the server exposes this as DenseReference).
+func (e *Engine) DenseForward(idx int, ids []int) (*mat.Matrix, error) {
+	if idx < 0 || idx >= e.NumLevels() {
+		return nil, fmt.Errorf("serve: level %d out of range %d", idx, e.NumLevels())
+	}
+	m := e.replicas[0]
+	lins := m.PrunableLinears()
+	for j, l := range lins {
+		mask, _ := e.bundle.Sets[idx].Apply(e.weights[j])
+		masked := e.weights[j].Clone()
+		masked.Hadamard(mask)
+		l.W.Value.CopyFrom(masked)
+		l.SetMultiplier(nil)
+	}
+	out := m.Forward(ids)
+	cur := e.recon.Current()
+	for j, l := range lins {
+		l.W.Value.CopyFrom(e.weights[j])
+		l.SetMultiplier(e.packed[cur][j])
+	}
+	return out, nil
+}
+
+// BundleFromModel builds a deployment bundle for a model: the dense
+// values of every prunable projection plus one pattern set per level.
+// sets and levelNames follow the fastest-first convention.
+func BundleFromModel(m Model, sets []*pattern.Set, levelNames []string) *deploy.Bundle {
+	b := &deploy.Bundle{Sets: sets, LevelNames: levelNames}
+	for _, l := range m.PrunableLinears() {
+		w := l.W.Value
+		b.Weights = append(b.Weights, deploy.WeightMatrix{
+			Name: l.W.Name, Rows: w.Rows, Cols: w.Cols,
+			Data: append([]float64(nil), w.Data...),
+		})
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"rt3/internal/metrics"
+)
+
+// recentWindow bounds the sliding latency sample fed to the policy.
+const recentWindow = 256
+
+// LevelStats summarizes completed requests at one V/F level.
+type LevelStats struct {
+	Level   string
+	Count   int
+	MeanMS  float64
+	P50MS   float64
+	P95MS   float64
+	P99MS   float64
+}
+
+// Recorder accumulates serving observations: per-level request latencies,
+// batch sizes, queue drops, and reconfiguration events. All methods are
+// safe for concurrent use.
+type Recorder struct {
+	mu         sync.Mutex
+	levelNames []string
+	perLevel   [][]float64 // total (queue + service) latency ms
+	recent     []float64   // sliding window across levels
+	recentPos  int
+
+	batches       int
+	batchRequests int
+	drops         int
+
+	switches      int
+	switchModelMS float64 // modeled reconfiguration cost
+	switchWallMS  float64 // measured kernel-install wall time
+}
+
+// NewRecorder sizes a recorder for the given level names.
+func NewRecorder(levelNames []string) *Recorder {
+	return &Recorder{
+		levelNames: levelNames,
+		perLevel:   make([][]float64, len(levelNames)),
+	}
+}
+
+// Observe records one completed request at the given level.
+func (r *Recorder) Observe(level int, totalMS float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.perLevel[level] = append(r.perLevel[level], totalMS)
+	if len(r.recent) < recentWindow {
+		r.recent = append(r.recent, totalMS)
+	} else {
+		r.recent[r.recentPos] = totalMS
+		r.recentPos = (r.recentPos + 1) % recentWindow
+	}
+}
+
+// ObserveBatch records one dispatched batch of n requests.
+func (r *Recorder) ObserveBatch(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.batches++
+	r.batchRequests += n
+}
+
+// ObserveDrop records one request rejected at admission.
+func (r *Recorder) ObserveDrop() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.drops++
+}
+
+// ObserveSwitch records one live reconfiguration: the modeled pattern-set
+// swap cost and the measured kernel-install time, both milliseconds.
+func (r *Recorder) ObserveSwitch(modelMS, wallMS float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.switches++
+	r.switchModelMS += modelMS
+	r.switchWallMS += wallMS
+}
+
+// RecentP95 returns the p95 latency of the sliding window (0 when empty).
+func (r *Recorder) RecentP95() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return metrics.Quantile(r.recent, 0.95)
+}
+
+// Drops returns the rejected-request count.
+func (r *Recorder) Drops() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.drops
+}
+
+// Switches returns the switch count and cumulative (modeled, wall) ms.
+func (r *Recorder) Switches() (int, float64, float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.switches, r.switchModelMS, r.switchWallMS
+}
+
+// MeanBatch returns the mean dispatched batch size (0 when none).
+func (r *Recorder) MeanBatch() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.batches == 0 {
+		return 0
+	}
+	return float64(r.batchRequests) / float64(r.batches)
+}
+
+// Snapshot returns per-level latency digests for levels that served at
+// least one request, bundle order.
+func (r *Recorder) Snapshot() []LevelStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []LevelStats
+	for i, lat := range r.perLevel {
+		if len(lat) == 0 {
+			continue
+		}
+		var sum float64
+		for _, v := range lat {
+			sum += v
+		}
+		out = append(out, LevelStats{
+			Level:  r.levelNames[i],
+			Count:  len(lat),
+			MeanMS: sum / float64(len(lat)),
+			P50MS:  metrics.Quantile(lat, 0.50),
+			P95MS:  metrics.Quantile(lat, 0.95),
+			P99MS:  metrics.Quantile(lat, 0.99),
+		})
+	}
+	return out
+}
+
+// FormatLevelStats renders the per-level digest as an aligned table.
+func FormatLevelStats(stats []LevelStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %8s %10s %10s %10s %10s\n", "level", "requests", "mean_ms", "p50_ms", "p95_ms", "p99_ms")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-6s %8d %10.3f %10.3f %10.3f %10.3f\n",
+			s.Level, s.Count, s.MeanMS, s.P50MS, s.P95MS, s.P99MS)
+	}
+	return b.String()
+}

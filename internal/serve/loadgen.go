@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"rt3/internal/mat"
+)
+
+// LoadSpec describes an open-loop traffic replay: arrivals follow a
+// linear rate ramp from StartRPS to EndRPS over Duration, regardless of
+// how fast the server drains them.
+type LoadSpec struct {
+	Duration time.Duration
+	StartRPS float64
+	EndRPS   float64
+
+	// SeqLen and Vocab shape the synthetic token sequences.
+	SeqLen int
+	Vocab  int
+	// PoolSize is the number of distinct sequences replayed (default 32);
+	// a small pool keeps post-hoc verification cheap.
+	PoolSize int
+	Seed     int64
+
+	// Verify recomputes every response against masked dense execution at
+	// the level it was served on, after the run (requires the caller not
+	// to Stop the server until RunLoad returns).
+	Verify bool
+	// Tolerance bounds |packed - dense| per element (default 1e-9).
+	Tolerance float64
+}
+
+func (s LoadSpec) withDefaults() LoadSpec {
+	if s.PoolSize <= 0 {
+		s.PoolSize = 32
+	}
+	if s.SeqLen <= 0 {
+		s.SeqLen = 8
+	}
+	if s.Vocab <= 0 {
+		s.Vocab = 16
+	}
+	if s.Tolerance <= 0 {
+		s.Tolerance = 1e-9
+	}
+	if s.StartRPS <= 0 {
+		s.StartRPS = 100
+	}
+	if s.EndRPS <= 0 {
+		s.EndRPS = s.StartRPS
+	}
+	return s
+}
+
+// LoadReport summarizes one load-generator run.
+type LoadReport struct {
+	Offered   int
+	Completed int
+	Dropped   int
+	Elapsed   time.Duration
+
+	ThroughputRPS float64
+	MeanBatch     float64
+	Levels        []LevelStats
+
+	Switches      int
+	SwitchModelMS float64 // modeled pattern-swap cost, cumulative
+	SwitchWallMS  float64 // measured kernel-install time, cumulative
+
+	BatteryFraction float64
+
+	Verified   int
+	Mismatches int
+}
+
+// String renders the report in the repo's table style.
+func (r *LoadReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "offered %d  completed %d  dropped %d  in %.2fs  (%.1f req/s, mean batch %.1f)\n",
+		r.Offered, r.Completed, r.Dropped, r.Elapsed.Seconds(), r.ThroughputRPS, r.MeanBatch)
+	b.WriteString(FormatLevelStats(r.Levels))
+	fmt.Fprintf(&b, "switches %d  modeled swap cost %.3f ms  kernel install %.3f ms\n",
+		r.Switches, r.SwitchModelMS, r.SwitchWallMS)
+	fmt.Fprintf(&b, "battery %.0f%%\n", r.BatteryFraction*100)
+	if r.Verified > 0 {
+		fmt.Fprintf(&b, "verified %d responses against dense execution: %d mismatches\n", r.Verified, r.Mismatches)
+	}
+	return b.String()
+}
+
+// pending tracks one in-flight request of the replay.
+type pending struct {
+	poolIdx int
+	ch      <-chan Response
+}
+
+// RunLoad replays open-loop traffic against a started server, waits for
+// every admitted request to complete, and reports latency, throughput,
+// switching, and (optionally) correctness versus dense execution. The
+// server is left running.
+func RunLoad(s *Server, spec LoadSpec) (*LoadReport, error) {
+	spec = spec.withDefaults()
+	if spec.Duration <= 0 {
+		return nil, fmt.Errorf("serve: LoadSpec.Duration must be positive")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	pool := make([][]int, spec.PoolSize)
+	for i := range pool {
+		seq := make([]int, spec.SeqLen)
+		for j := range seq {
+			seq[j] = rng.Intn(spec.Vocab)
+		}
+		pool[i] = seq
+	}
+
+	report := &LoadReport{}
+	var inflight []pending
+	start := time.Now()
+	next := start
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= spec.Duration {
+			break
+		}
+		frac := float64(elapsed) / float64(spec.Duration)
+		rps := spec.StartRPS + (spec.EndRPS-spec.StartRPS)*frac
+		next = next.Add(time.Duration(float64(time.Second) / rps))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		idx := rng.Intn(len(pool))
+		ch, err := s.Submit(pool[idx])
+		report.Offered++
+		switch err {
+		case nil:
+			inflight = append(inflight, pending{poolIdx: idx, ch: ch})
+		case ErrQueueFull:
+			report.Dropped++
+		default:
+			return nil, err
+		}
+	}
+
+	responses := make([]Response, len(inflight))
+	for i, p := range inflight {
+		responses[i] = <-p.ch
+	}
+	report.Elapsed = time.Since(start)
+	report.Completed = len(responses)
+	report.ThroughputRPS = float64(report.Completed) / report.Elapsed.Seconds()
+	report.MeanBatch = s.Recorder().MeanBatch()
+	report.Levels = s.Recorder().Snapshot()
+	report.Switches, report.SwitchModelMS, report.SwitchWallMS = s.Recorder().Switches()
+	report.BatteryFraction = s.BatteryFraction()
+
+	if spec.Verify {
+		// recompute each (level, sequence) pair once via dense execution
+		refs := map[[2]int]*mat.Matrix{}
+		for i, p := range inflight {
+			key := [2]int{responses[i].Level, p.poolIdx}
+			ref, ok := refs[key]
+			if !ok {
+				var err error
+				ref, err = s.DenseReference(responses[i].Level, pool[p.poolIdx])
+				if err != nil {
+					return nil, err
+				}
+				refs[key] = ref
+			}
+			report.Verified++
+			if !mat.Equal(responses[i].Out, ref, spec.Tolerance) {
+				report.Mismatches++
+			}
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rt3/internal/dvfs"
+	"rt3/internal/mat"
+)
+
+// Admission and lifecycle errors.
+var (
+	ErrQueueFull = errors.New("serve: request queue full")
+	ErrStopped   = errors.New("serve: server stopped")
+)
+
+// Config tunes the server. Zero values pick the documented defaults.
+type Config struct {
+	// MaxBatch flushes the pending batch when this many requests are
+	// waiting (default 8).
+	MaxBatch int
+	// MaxDelay flushes a non-empty batch after this long even if short
+	// (default 2ms) — the latency/throughput knob of dynamic batching.
+	MaxDelay time.Duration
+	// QueueCap bounds admitted-but-unserved requests (default 1024);
+	// Submit fails fast with ErrQueueFull beyond it.
+	QueueCap int
+
+	// Policy, when set, is consulted every PolicyEvery (default 20ms)
+	// with the current Status; a differing decision triggers a live
+	// level switch.
+	Policy      Policy
+	PolicyEvery time.Duration
+	// TargetMS is the latency objective surfaced to the policy.
+	TargetMS float64
+
+	// BatteryJ, when > 0, enables the simulated battery: every request
+	// drains the modeled inference energy of the active level, so a
+	// battery-aware policy sees charge fall under load.
+	BatteryJ float64
+	// Power is the V/F power model (default dvfs.DefaultPowerModel).
+	Power dvfs.PowerModel
+	// CyclesPerInference is the modeled per-request work used for energy
+	// accounting (default 2e6 cycles).
+	CyclesPerInference float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.PolicyEvery <= 0 {
+		c.PolicyEvery = 20 * time.Millisecond
+	}
+	if c.Power == (dvfs.PowerModel{}) {
+		c.Power = dvfs.DefaultPowerModel()
+	}
+	if c.CyclesPerInference <= 0 {
+		c.CyclesPerInference = 2e6
+	}
+	return c
+}
+
+// Response is the answer to one request.
+type Response struct {
+	// Err is non-nil when the request was abandoned (the server was
+	// stopped before ever starting); all other fields are then zero.
+	Err error
+	// Out is the model output (e.g. 1 x Classes logits).
+	Out *mat.Matrix
+	// Level is the V/F level index the request executed at.
+	Level int
+	// QueueMS is time from admission to batch dispatch; TotalMS is time
+	// from admission to completion.
+	QueueMS, TotalMS float64
+	// BatchSize is the size of the batch the request rode in.
+	BatchSize int
+}
+
+type request struct {
+	ids  []int
+	enq  time.Time
+	resp chan Response
+}
+
+// Status is the server state snapshot handed to the level policy.
+type Status struct {
+	Level           int
+	NumLevels       int
+	QueueDepth      int
+	QueueCap        int
+	BatteryFraction float64 // 1 when energy accounting is disabled
+	RecentP95MS     float64
+	TargetMS        float64
+}
+
+// Server is the batched, reconfiguration-aware inference frontend: a
+// bounded request queue feeds a dynamic batcher (flush on size or
+// deadline); a worker pool — one worker per engine replica — executes
+// batches through the packed kernels; SwitchTo drains in-flight batches,
+// swaps the active pattern set and V/F level on the engine, and charges
+// the modeled reconfiguration cost.
+type Server struct {
+	cfg     Config
+	eng     *Engine
+	rec     *Recorder
+
+	batMu   sync.Mutex
+	battery *dvfs.Battery // guarded by batMu
+
+	in      chan *request
+	batches chan []*request
+
+	// execMu is read-held by workers for the duration of one batch and
+	// write-held across a switch: taking the write lock IS the drain.
+	execMu sync.RWMutex
+
+	stateMu sync.RWMutex
+	started bool
+	stopped bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a server over a deployed engine.
+func New(eng *Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		eng:     eng,
+		rec:     NewRecorder(eng.bundle.LevelNames),
+		in:      make(chan *request, cfg.QueueCap),
+		batches: make(chan []*request, eng.Replicas()),
+		done:    make(chan struct{}),
+	}
+	if cfg.BatteryJ > 0 {
+		s.battery = dvfs.NewBattery(cfg.BatteryJ)
+	}
+	return s
+}
+
+// Recorder exposes the server's observation sink.
+func (s *Server) Recorder() *Recorder { return s.rec }
+
+// Engine exposes the underlying execution engine.
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Start launches the batcher, one worker per engine replica, and (when
+// configured) the policy loop.
+func (s *Server) Start() {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if s.started || s.stopped {
+		return
+	}
+	s.started = true
+	s.wg.Add(1)
+	go s.batcher()
+	for i := 0; i < s.eng.Replicas(); i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	if s.cfg.Policy != nil {
+		s.wg.Add(1)
+		go s.policyLoop()
+	}
+}
+
+// Submit admits one request and returns the channel its response will
+// arrive on (buffered; exactly one send). It fails fast with
+// ErrQueueFull when the queue is at capacity and ErrStopped after Stop.
+func (s *Server) Submit(ids []int) (<-chan Response, error) {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if s.stopped {
+		return nil, ErrStopped
+	}
+	r := &request{ids: ids, enq: time.Now(), resp: make(chan Response, 1)}
+	select {
+	case s.in <- r:
+		return r.resp, nil
+	default:
+		s.rec.ObserveDrop()
+		return nil, ErrQueueFull
+	}
+}
+
+// Stop closes admission, drains every queued request through the workers,
+// and blocks until all goroutines exit. Pending responses are delivered;
+// on a server that was never started, queued requests receive a Response
+// with Err == ErrStopped instead of an answer.
+func (s *Server) Stop() {
+	s.stateMu.Lock()
+	if s.stopped {
+		s.stateMu.Unlock()
+		return
+	}
+	s.stopped = true
+	started := s.started
+	close(s.in)
+	close(s.done)
+	s.stateMu.Unlock()
+	if started {
+		s.wg.Wait()
+		return
+	}
+	for r := range s.in {
+		r.resp <- Response{Err: ErrStopped}
+	}
+}
+
+// Status snapshots the signals a level policy decides on.
+func (s *Server) Status() Status {
+	frac := s.BatteryFraction()
+	return Status{
+		Level:           s.eng.Level(),
+		NumLevels:       s.eng.NumLevels(),
+		QueueDepth:      len(s.in),
+		QueueCap:        s.cfg.QueueCap,
+		BatteryFraction: frac,
+		RecentP95MS:     s.rec.RecentP95(),
+		TargetMS:        s.cfg.TargetMS,
+	}
+}
+
+// BatteryFraction returns the simulated state of charge (1 if disabled).
+func (s *Server) BatteryFraction() float64 {
+	if s.battery == nil {
+		return 1
+	}
+	s.batMu.Lock()
+	defer s.batMu.Unlock()
+	return s.battery.Fraction()
+}
+
+// SwitchTo performs a guarded live reconfiguration to level idx: it
+// blocks new batch execution, waits for in-flight batches to drain,
+// swaps the engine's pattern set, and records the modeled swap cost plus
+// the measured kernel-install time. Requests keep queuing throughout —
+// none are dropped by a switch.
+func (s *Server) SwitchTo(idx int) (float64, error) {
+	if idx < 0 || idx >= s.eng.NumLevels() {
+		return 0, fmt.Errorf("serve: level %d out of range %d", idx, s.eng.NumLevels())
+	}
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	if idx == s.eng.Level() {
+		return 0, nil
+	}
+	t0 := time.Now()
+	cost, err := s.eng.SwitchTo(idx)
+	if err != nil {
+		return 0, err
+	}
+	s.rec.ObserveSwitch(cost, float64(time.Since(t0).Microseconds())/1000)
+	return cost, nil
+}
+
+// DenseReference computes the masked dense output for level idx on the
+// quiesced engine — the ground truth for verifying served responses.
+func (s *Server) DenseReference(idx int, ids []int) (*mat.Matrix, error) {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	return s.eng.DenseForward(idx, ids)
+}
+
+// batcher assembles dynamic batches: flush at MaxBatch or MaxDelay after
+// the first request, whichever comes first.
+func (s *Server) batcher() {
+	defer s.wg.Done()
+	defer close(s.batches)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var batch []*request
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		s.rec.ObserveBatch(len(batch))
+		s.batches <- batch
+		batch = nil
+	}
+	for {
+		select {
+		case r, ok := <-s.in:
+			if !ok {
+				flush()
+				return
+			}
+			batch = append(batch, r)
+			if len(batch) == 1 {
+				timer.Reset(s.cfg.MaxDelay)
+			}
+			if len(batch) >= s.cfg.MaxBatch {
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				flush()
+			}
+		case <-timer.C:
+			flush()
+		}
+	}
+}
+
+// worker executes batches on its private model replica. The read lock
+// spans the whole batch so a reconfiguration can only happen between
+// batches — requests within one batch all run at one level.
+func (s *Server) worker(replica int) {
+	defer s.wg.Done()
+	for batch := range s.batches {
+		s.execMu.RLock()
+		level := s.eng.Level()
+		dispatch := time.Now()
+		for _, r := range batch {
+			out := s.eng.Forward(replica, r.ids)
+			now := time.Now()
+			totalMS := float64(now.Sub(r.enq).Microseconds()) / 1000
+			queueMS := float64(dispatch.Sub(r.enq).Microseconds()) / 1000
+			r.resp <- Response{
+				Out:       out,
+				Level:     level,
+				QueueMS:   queueMS,
+				TotalMS:   totalMS,
+				BatchSize: len(batch),
+			}
+			s.rec.Observe(level, totalMS)
+			s.drainEnergy(level)
+		}
+		s.execMu.RUnlock()
+	}
+}
+
+// drainEnergy charges the modeled inference energy of one request at the
+// given level against the simulated battery.
+func (s *Server) drainEnergy(level int) {
+	if s.battery == nil {
+		return
+	}
+	e := s.cfg.Power.InferenceEnergy(s.eng.Levels()[level], s.cfg.CyclesPerInference)
+	s.batMu.Lock()
+	defer s.batMu.Unlock()
+	if !s.battery.Drain(e) {
+		s.battery.Remaining = 0
+	}
+}
+
+// policyLoop periodically asks the policy for a level and applies it.
+func (s *Server) policyLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.PolicyEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			st := s.Status()
+			want := s.cfg.Policy.Decide(st)
+			if want != st.Level {
+				if _, err := s.SwitchTo(want); err != nil {
+					continue
+				}
+			}
+		}
+	}
+}

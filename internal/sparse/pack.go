@@ -1,0 +1,19 @@
+package sparse
+
+import (
+	"rt3/internal/mat"
+	"rt3/internal/pattern"
+)
+
+// PackSet applies a pattern set to w (per-block largest-l2 pattern choice)
+// and packs the surviving weights into the Pattern execution format. The
+// returned kernel computes exactly what dense execution over the masked
+// weights would — the object a device runs after an RT3 level switch.
+func PackSet(w *mat.Matrix, s *pattern.Set) (*Pattern, error) {
+	_, choices := s.Apply(w)
+	bits := make([][]uint8, len(s.Patterns))
+	for i, p := range s.Patterns {
+		bits[i] = p.Bits
+	}
+	return NewPattern(w, s.PSize(), bits, choices)
+}

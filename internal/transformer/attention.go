@@ -54,6 +54,12 @@ func (a *MultiHeadAttention) Params() []*nn.Parameter {
 	return nn.CollectParams(a.WQ, a.WK, a.WV, a.WO)
 }
 
+// PrunableLinears returns the four projection layers, the attention
+// weights eligible for BP/PP (biases and LayerNorms stay dense).
+func (a *MultiHeadAttention) PrunableLinears() []*nn.Linear {
+	return []*nn.Linear{a.WQ, a.WK, a.WV, a.WO}
+}
+
 // Forward computes attention of queries (seqQ x dim) over keys/values
 // (seqK x dim). Pass q == kv for self-attention. When causal is true,
 // position i may only attend to positions <= i (requires seqQ == seqK).

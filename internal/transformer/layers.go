@@ -25,6 +25,9 @@ func NewFeedForward(name string, dim, hidden int, rng *rand.Rand) *FeedForward {
 // Params implements nn.Module.
 func (f *FeedForward) Params() []*nn.Parameter { return nn.CollectParams(f.L1, f.L2) }
 
+// PrunableLinears returns the two MLP projections.
+func (f *FeedForward) PrunableLinears() []*nn.Linear { return []*nn.Linear{f.L1, f.L2} }
+
 // Forward applies the MLP to every row of x.
 func (f *FeedForward) Forward(x *mat.Matrix) *mat.Matrix {
 	return f.L2.Forward(f.Act.Forward(f.L1.Forward(x)))
@@ -57,6 +60,11 @@ func NewEncoderLayer(name string, dim, heads, ffHidden int, rng *rand.Rand) *Enc
 // Params implements nn.Module.
 func (e *EncoderLayer) Params() []*nn.Parameter {
 	return nn.CollectParams(e.Attn, e.FF, e.LN1, e.LN2)
+}
+
+// PrunableLinears returns the block's attention and MLP projections.
+func (e *EncoderLayer) PrunableLinears() []*nn.Linear {
+	return append(e.Attn.PrunableLinears(), e.FF.PrunableLinears()...)
 }
 
 // Forward runs the block on a seq x dim input.
@@ -107,6 +115,12 @@ func NewDecoderLayer(name string, dim, heads, ffHidden int, rng *rand.Rand) *Dec
 // Params implements nn.Module.
 func (d *DecoderLayer) Params() []*nn.Parameter {
 	return nn.CollectParams(d.SelfAttn, d.CrossAttn, d.FF, d.LN1, d.LN2, d.LN3)
+}
+
+// PrunableLinears returns the block's attention and MLP projections.
+func (d *DecoderLayer) PrunableLinears() []*nn.Linear {
+	out := append(d.SelfAttn.PrunableLinears(), d.CrossAttn.PrunableLinears()...)
+	return append(out, d.FF.PrunableLinears()...)
 }
 
 // Forward runs the block on x (seq x dim) attending to memory.

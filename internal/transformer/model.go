@@ -1,6 +1,7 @@
 package transformer
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -89,6 +90,28 @@ func (m *LMModel) collect() []*nn.Parameter {
 
 // Params implements nn.Module.
 func (m *LMModel) Params() []*nn.Parameter { return m.nparams }
+
+// PrunableLinears returns every attention and MLP projection layer, in
+// the same order their W parameters appear in PrunableParams selections.
+func (m *LMModel) PrunableLinears() []*nn.Linear {
+	var out []*nn.Linear
+	for _, e := range m.Enc {
+		out = append(out, e.PrunableLinears()...)
+	}
+	for _, d := range m.Dec {
+		out = append(out, d.PrunableLinears()...)
+	}
+	return out
+}
+
+// Clone returns an independent model with identical weights — the way a
+// serving worker pool replicates one checkpoint so concurrent forward
+// passes do not share layer caches.
+func (m *LMModel) Clone() *LMModel {
+	c := NewLMModel(m.Cfg, rand.New(rand.NewSource(0)))
+	copyParams(c.nparams, m.nparams)
+	return c
+}
 
 // Forward returns next-token logits (seq x vocab) for the id sequence.
 func (m *LMModel) Forward(ids []int) *mat.Matrix {
@@ -193,6 +216,34 @@ func NewClassifier(cfg Config, rng *rand.Rand) *Classifier {
 
 // Params implements nn.Module.
 func (c *Classifier) Params() []*nn.Parameter { return c.nparams }
+
+// PrunableLinears returns every attention and MLP projection layer.
+func (c *Classifier) PrunableLinears() []*nn.Linear {
+	var out []*nn.Linear
+	for _, e := range c.Enc {
+		out = append(out, e.PrunableLinears()...)
+	}
+	return out
+}
+
+// Clone returns an independent classifier with identical weights (see
+// LMModel.Clone).
+func (c *Classifier) Clone() *Classifier {
+	out := NewClassifier(c.Cfg, rand.New(rand.NewSource(0)))
+	copyParams(out.nparams, c.nparams)
+	return out
+}
+
+// copyParams copies src values into dst pairwise; both models must come
+// from the same deterministic construction order.
+func copyParams(dst, src []*nn.Parameter) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("transformer: clone param count %d != %d", len(dst), len(src)))
+	}
+	for i, p := range dst {
+		p.Value.CopyFrom(src[i].Value)
+	}
+}
 
 // Forward returns the 1 x Classes output for the token sequence.
 func (c *Classifier) Forward(ids []int) *mat.Matrix {
