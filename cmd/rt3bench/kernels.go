@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"rt3/internal/kernel"
+	"rt3/internal/mat"
+	"rt3/internal/pattern"
+)
+
+// kernelBenchSpec shapes the kernel micro-benchmark: one Transformer
+// projection executed as X (batch x dim) @ W (dim x dim) across the
+// registry's execution formats.
+type kernelBenchSpec struct {
+	dim      int
+	batch    int
+	psize    int
+	sparsity float64
+	workers  int
+	minTime  time.Duration
+}
+
+// runKernelBench times MulInto for every requested registry format and
+// prints a table of per-call latency and GFLOP-equivalents/sec: the
+// dense-equivalent rate (2*dim*dim*batch flops per call, what the layer
+// replaces) and the effective rate over stored nonzeros (2*NNZ*batch).
+func runKernelBench(formats string, spec kernelBenchSpec) error {
+	rng := rand.New(rand.NewSource(42))
+	w := mat.New(spec.dim, spec.dim)
+	w.Randomize(rng, 1)
+	set := pattern.GenerateSet(w, spec.psize, spec.sparsity, 4, rng)
+	x := mat.New(spec.batch, spec.dim)
+	x.Randomize(rng, 1)
+
+	var names []string
+	if formats == "all" || formats == "" {
+		names = kernel.Formats()
+	} else {
+		for _, n := range strings.Split(formats, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+
+	fmt.Printf("kernel MulInto: %dx%d weights, pattern sparsity %.2f (psize %d), batch %d, workers %d\n\n",
+		spec.dim, spec.dim, spec.sparsity, spec.psize, spec.batch, spec.workers)
+	fmt.Printf("%-10s %10s %10s %12s %14s %14s\n",
+		"format", "nnz", "idx_words", "us/op", "GFLOPeq/s", "GFLOPeff/s")
+
+	denseFlops := 2 * float64(spec.dim) * float64(spec.dim) * float64(spec.batch)
+	for _, name := range names {
+		k, err := kernel.Build(name, w, kernel.Options{Set: set, Workers: spec.workers})
+		if err != nil {
+			return err
+		}
+		dst := mat.New(spec.batch, spec.dim)
+		k.MulInto(dst, x) // warm up buffers and the worker pool
+		perOp := timeKernel(k, dst, x, spec.minTime)
+		effFlops := 2 * float64(k.NNZ()) * float64(spec.batch)
+		fmt.Printf("%-10s %10d %10d %12.2f %14.3f %14.3f\n",
+			name, k.NNZ(), k.IndexWords(),
+			float64(perOp.Nanoseconds())/1e3,
+			denseFlops/perOp.Seconds()/1e9,
+			effFlops/perOp.Seconds()/1e9)
+		if pk, ok := k.(*kernel.ParallelKernel); ok {
+			pk.Close()
+		}
+	}
+	return nil
+}
+
+// timeKernel measures the mean MulInto latency, running at least minTime.
+func timeKernel(k kernel.Kernel, dst, x *mat.Matrix, minTime time.Duration) time.Duration {
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			k.MulInto(dst, x)
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minTime {
+			return elapsed / time.Duration(iters)
+		}
+		if elapsed <= 0 {
+			iters *= 1000
+			continue
+		}
+		// scale iteration count toward the time target, capped at 100x
+		scale := int(float64(minTime)/float64(elapsed)*1.2) + 1
+		if scale > 100 {
+			scale = 100
+		}
+		iters *= scale
+	}
+}

@@ -1,11 +1,13 @@
 // Command rt3bench regenerates the paper's tables and figures on the
-// synthetic substrate and prints them to stdout.
+// synthetic substrate and prints them to stdout, plus a kernel
+// micro-benchmark over the unified execution formats.
 //
 // Usage:
 //
 //	rt3bench -exp all
 //	rt3bench -exp tab3 -scale small
-//	rt3bench -exp tab1|tab2|tab3|tab4|fig3a|fig3bc|fig4|fig5
+//	rt3bench -exp tab1|tab2|tab3|tab4|fig3a|fig3bc|fig4|fig5|kernels
+//	rt3bench -exp kernels -kernel pattern,dense -workers 4
 package main
 
 import (
@@ -13,7 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
+	"time"
 
 	"rt3/internal/experiments"
 )
@@ -21,8 +23,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rt3bench: ")
-	exp := flag.String("exp", "all", "experiment: all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5")
+	exp := flag.String("exp", "all", "experiment: all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels")
 	scaleFlag := flag.String("scale", "tiny", "model scale: tiny or small")
+	kernels := flag.String("kernel", "all", "kernels experiment: comma-separated registry formats (dense, coo, csr, blockcsr, pattern) or all")
+	workers := flag.Int("workers", 1, "kernels experiment: parallel executor width per kernel")
+	dim := flag.Int("kernel-dim", 192, "kernels experiment: square projection size")
+	batch := flag.Int("kernel-batch", 64, "kernels experiment: batch rows per MulInto call")
+	sparsity := flag.Float64("kernel-sparsity", 0.7, "kernels experiment: pattern sparsity")
 	flag.Parse()
 
 	scale := experiments.ScaleTiny
@@ -34,10 +41,12 @@ func main() {
 		log.Fatalf("unknown scale %q (want tiny or small)", *scaleFlag)
 	}
 
+	ran := false
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		ran = true
 		fmt.Printf("== %s ==\n", name)
 		if err := f(); err != nil {
 			log.Fatalf("%s: %v", name, err)
@@ -111,9 +120,19 @@ func main() {
 		fmt.Print(res)
 		return nil
 	})
+	run("kernels", func() error {
+		return runKernelBench(*kernels, kernelBenchSpec{
+			dim:      *dim,
+			batch:    *batch,
+			psize:    8,
+			sparsity: *sparsity,
+			workers:  *workers,
+			minTime:  50 * time.Millisecond,
+		})
+	})
 
-	if *exp != "all" && !strings.Contains("tab1 tab2 tab3 tab4 fig3a fig3bc fig4 fig5", *exp) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5 or kernels)\n", *exp)
 		os.Exit(2)
 	}
 }

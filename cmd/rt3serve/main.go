@@ -47,6 +47,8 @@ func main() {
 		rpsStart = flag.Float64("rps-start", 200, "arrival rate at the start of the ramp")
 		rpsEnd   = flag.Float64("rps-end", 800, "arrival rate at the end of the ramp")
 		workers  = flag.Int("workers", 2, "worker pool width (model replicas)")
+		format   = flag.String("format", "pattern", "packed execution format from the kernel registry (dense, coo, csr, blockcsr, pattern)")
+		kworkers = flag.Int("kernel-workers", 1, "parallel executor width inside each packed kernel")
 		batch    = flag.Int("batch", 8, "max dynamic batch size")
 		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "batch flush deadline")
 		policyN  = flag.String("policy", "governor", "level policy: governor or rl")
@@ -57,8 +59,14 @@ func main() {
 	)
 	flag.Parse()
 
-	eng, bundleBytes, bundle := buildDeployment(*seed, *workers)
+	eng, bundleBytes, bundle := buildDeployment(*seed, *workers, serve.EngineConfig{
+		Format:        *format,
+		KernelWorkers: *kworkers,
+	})
+	defer eng.Close()
 	printDeployment(bundle, bundleBytes)
+	fmt.Printf("execution: %s kernels, %d replica(s), %d worker(s) per kernel\n\n",
+		eng.Format(), eng.Replicas(), *kworkers)
 
 	// smoke mode switches levels manually; only the load demo wants a
 	// policy fighting for the level
@@ -111,8 +119,9 @@ func main() {
 }
 
 // buildDeployment constructs the classifier, serializes its bundle, and
-// deploys it onto cloned worker replicas.
-func buildDeployment(seed int64, workers int) (*serve.Engine, int, *deploy.Bundle) {
+// deploys it onto cloned worker replicas with the requested kernel
+// format and intra-kernel parallelism.
+func buildDeployment(seed int64, workers int, cfg serve.EngineConfig) (*serve.Engine, int, *deploy.Bundle) {
 	rng := rand.New(rand.NewSource(seed))
 	model := transformer.NewClassifier(transformer.Config{
 		Vocab: 24, Dim: 16, Heads: 2, FFHidden: 32, EncLayers: 2, SeqLen: 10, Classes: 3,
@@ -134,7 +143,7 @@ func buildDeployment(seed int64, workers int) (*serve.Engine, int, *deploy.Bundl
 	for i := 0; i < workers; i++ {
 		replicas = append(replicas, model.Clone())
 	}
-	eng, err := serve.NewEngine(loaded, replicas, rtswitch.DefaultSwitchCostModel())
+	eng, err := serve.NewEngineConfigured(loaded, replicas, rtswitch.DefaultSwitchCostModel(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,106 @@
+// Package kernel is the unified execution API every matrix product in
+// the repo computes through: dense weights, all four sparse formats and
+// the pattern-packed RT3 serving path share one destination-passing
+// interface, one parallel executor and one format registry.
+//
+// # Destination passing
+//
+// A Kernel computes dst = X @ W with the destination pre-allocated by
+// the caller: MulInto never allocates in steady state, so a serving hot
+// path that reuses its activation buffers runs garbage-free. Shapes are
+// fixed by Dims(): for a kernel over an in x out weight matrix, X must
+// be batch x in and dst batch x out (dst must not alias X). Callers that
+// do not care about allocations can use the Mul convenience wrapper.
+//
+// # Parallelism contract
+//
+// Parallel(k, workers) wraps any kernel in a size-aware executor that
+// row-partitions the batch across a reusable worker pool. Because rows
+// of dst are disjoint slices, workers never write the same memory; the
+// wrapped kernel only needs to tolerate concurrent MulInto calls on
+// disjoint destinations, which every read-only-weight kernel in this
+// repo does. A ParallelKernel itself serializes its own MulInto calls —
+// use one instance per serving replica, not one shared instance.
+//
+// # Registry
+//
+// The package-level registry maps format names ("dense", "coo", "csr",
+// "blockcsr", "pattern") to constructors so commands and the serving
+// engine select execution formats by flag or config instead of
+// hard-coding types. See Build and Options.
+package kernel
+
+import (
+	"fmt"
+
+	"rt3/internal/mat"
+	"rt3/internal/sparse"
+)
+
+// Kernel computes dst = X @ W from some packed representation of an
+// in x out weight matrix W.
+type Kernel interface {
+	// MulInto computes dst = x @ W into the pre-allocated destination.
+	// x is batch x in, dst is batch x out; dst must not alias x.
+	// Implementations are allocation-free in steady state.
+	MulInto(dst, x *mat.Matrix)
+	// Dims returns the logical (in, out) shape of W.
+	Dims() (in, out int)
+	// NNZ returns the number of stored weight values.
+	NNZ() int
+	// IndexWords returns the number of stored index words — the storage
+	// overhead the paper's format comparison argues about.
+	IndexWords() int
+}
+
+// Mul is the allocating convenience wrapper: it news the batch x out
+// destination and runs k.MulInto.
+func Mul(k Kernel, x *mat.Matrix) *mat.Matrix {
+	_, out := k.Dims()
+	dst := mat.New(x.Rows, out)
+	k.MulInto(dst, x)
+	return dst
+}
+
+// DenseKernel executes the dense baseline through mat.MatMul. It stores
+// every value (NNZ = in*out) and no index words.
+type DenseKernel struct {
+	W *mat.Matrix
+}
+
+// NewDense wraps a dense weight matrix. The matrix is not copied: the
+// kernel sees live weight updates, which is what dense training wants.
+func NewDense(w *mat.Matrix) *DenseKernel { return &DenseKernel{W: w} }
+
+// MulInto implements Kernel via mat.MatMul.
+func (d *DenseKernel) MulInto(dst, x *mat.Matrix) { mat.MatMul(dst, x, d.W) }
+
+// Dims implements Kernel.
+func (d *DenseKernel) Dims() (in, out int) { return d.W.Rows, d.W.Cols }
+
+// NNZ implements Kernel: dense storage keeps every value.
+func (d *DenseKernel) NNZ() int { return d.W.Rows * d.W.Cols }
+
+// IndexWords implements Kernel: dense storage needs no indices.
+func (d *DenseKernel) IndexWords() int { return 0 }
+
+// checkDst validates a destination against the kernel's output shape.
+func checkDst(k Kernel, dst, x *mat.Matrix) error {
+	in, out := k.Dims()
+	if x.Cols != in {
+		return fmt.Errorf("kernel: x cols %d != in %d", x.Cols, in)
+	}
+	if dst.Rows != x.Rows || dst.Cols != out {
+		return fmt.Errorf("kernel: dst %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, out)
+	}
+	return nil
+}
+
+// compile-time checks: every sparse execution format is a Kernel.
+var (
+	_ Kernel = (*DenseKernel)(nil)
+	_ Kernel = (*sparse.COO)(nil)
+	_ Kernel = (*sparse.CSR)(nil)
+	_ Kernel = (*sparse.BlockCSR)(nil)
+	_ Kernel = (*sparse.Pattern)(nil)
+)

@@ -1,0 +1,303 @@
+package kernel_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rt3/internal/kernel"
+	"rt3/internal/mat"
+	"rt3/internal/pattern"
+	"rt3/internal/sparse"
+)
+
+// maskedDense computes the ground truth a registry kernel must match:
+// dense execution over the pattern-masked weights.
+func maskedDense(w *mat.Matrix, set *pattern.Set, x *mat.Matrix) *mat.Matrix {
+	mw := w
+	if set != nil {
+		mask, _ := set.Apply(w)
+		mw = w.Clone()
+		mw.Hadamard(mask)
+	}
+	y := mat.New(x.Rows, mw.Cols)
+	mat.MatMul(y, x, mw)
+	return y
+}
+
+// TestRegistryFormatsMatchDense is the unified equivalence property: for
+// every registered execution format, building a kernel over the same
+// pattern-masked weights and running MulInto must equal dense execution
+// element-for-element, including non-multiple-of-psize edge shapes.
+func TestRegistryFormatsMatchDense(t *testing.T) {
+	for _, name := range kernel.Formats() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				rows, cols, batch := 4+rng.Intn(13), 4+rng.Intn(13), 1+rng.Intn(6)
+				w := mat.New(rows, cols)
+				w.Randomize(rng, 1)
+				set := pattern.RandomSet(4, 0.5, 3, rng)
+				k, err := kernel.Build(name, w, kernel.Options{Set: set})
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				in, out := k.Dims()
+				if in != rows || out != cols {
+					t.Fatalf("Dims = %dx%d, want %dx%d", in, out, rows, cols)
+				}
+				x := mat.New(batch, rows)
+				x.Randomize(rng, 1)
+				want := maskedDense(w, set, x)
+				dst := mat.New(batch, cols)
+				k.MulInto(dst, x)
+				if !mat.Equal(dst, want, 1e-9) {
+					return false
+				}
+				// the allocating wrapper must agree with MulInto
+				return mat.Equal(kernel.Mul(k, x), dst, 0)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDenseKernelSeesWeightUpdates pins the NewDense contract: the
+// kernel aliases the live weight matrix rather than copying it.
+func TestDenseKernelSeesWeightUpdates(t *testing.T) {
+	w := mat.FromSlice(2, 2, []float64{1, 0, 0, 1})
+	k := kernel.NewDense(w)
+	x := mat.FromSlice(1, 2, []float64{3, 5})
+	y := kernel.Mul(k, x)
+	if y.At(0, 0) != 3 || y.At(0, 1) != 5 {
+		t.Fatalf("identity product got %v", y.Data)
+	}
+	w.Set(0, 0, 2)
+	k.MulInto(y, x)
+	if y.At(0, 0) != 6 {
+		t.Fatalf("dense kernel did not see weight update: %v", y.Data)
+	}
+	if k.NNZ() != 4 || k.IndexWords() != 0 {
+		t.Fatalf("dense storage accounting: nnz %d idx %d", k.NNZ(), k.IndexWords())
+	}
+}
+
+// TestStorageAccountingConsistent checks the registry kernels report the
+// same NNZ/IndexWords as the underlying sparse formats.
+func TestStorageAccountingConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := mat.New(16, 16)
+	w.Randomize(rng, 1)
+	set := pattern.RandomSet(4, 0.5, 3, rng)
+	mask, _ := set.Apply(w)
+	mw := w.Clone()
+	mw.Hadamard(mask)
+
+	k, err := kernel.Build("coo", w, kernel.Options{Set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sparse.NewCOO(mw)
+	if k.NNZ() != ref.NNZ() || k.IndexWords() != ref.IndexWords() {
+		t.Fatalf("coo kernel accounting (%d, %d) != sparse (%d, %d)",
+			k.NNZ(), k.IndexWords(), ref.NNZ(), ref.IndexWords())
+	}
+}
+
+// TestParallelMatchesSerial sweeps worker counts and awkward batch
+// shapes: the parallel executor must be bit-identical to serial
+// execution (row partitioning never splits a row's dot products).
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w := mat.New(24, 17)
+	w.Randomize(rng, 1)
+	set := pattern.RandomSet(4, 0.5, 3, rng)
+	serial, err := kernel.Build("pattern", w, kernel.Options{Set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		par := kernel.Parallel(serial, workers)
+		pk := par.(*kernel.ParallelKernel)
+		for _, batch := range []int{1, 2, 3, 7, 8, 31, 32, 64, 65} {
+			x := mat.New(batch, 24)
+			x.Randomize(rng, 1)
+			want := mat.New(batch, 17)
+			serial.MulInto(want, x)
+			got := mat.New(batch, 17)
+			par.MulInto(got, x)
+			if !mat.Equal(got, want, 0) {
+				t.Fatalf("workers=%d batch=%d: parallel differs from serial", workers, batch)
+			}
+		}
+		if in, out := par.Dims(); in != 24 || out != 17 {
+			t.Fatalf("parallel Dims %dx%d", in, out)
+		}
+		if par.NNZ() != serial.NNZ() || par.IndexWords() != serial.IndexWords() {
+			t.Fatal("parallel wrapper changed storage accounting")
+		}
+		pk.Close()
+		pk.Close() // idempotent
+	}
+}
+
+// TestParallelConstruction pins the wrapper rules: workers <= 1 is the
+// identity, and re-wrapping does not nest pools.
+func TestParallelConstruction(t *testing.T) {
+	w := mat.New(8, 8)
+	k := kernel.NewDense(w)
+	if got := kernel.Parallel(k, 1); got != kernel.Kernel(k) {
+		t.Fatal("workers=1 should return the kernel unchanged")
+	}
+	p := kernel.Parallel(k, 2).(*kernel.ParallelKernel)
+	defer p.Close()
+	rewrapped := kernel.Parallel(p, 4).(*kernel.ParallelKernel)
+	defer rewrapped.Close()
+	if rewrapped.Inner() != kernel.Kernel(k) {
+		t.Fatal("re-wrapping nested parallel executors")
+	}
+	if rewrapped.Workers() != 4 {
+		t.Fatalf("workers = %d, want 4", rewrapped.Workers())
+	}
+}
+
+// TestPoolBindSharesWorkers: a serving replica binds every layer's
+// kernel to one pool; sequential execution through shared workers must
+// equal serial execution for each bound kernel.
+func TestPoolBindSharesWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	pool := kernel.NewPool(3)
+	defer pool.Close()
+	if pool.Workers() != 3 {
+		t.Fatalf("Workers = %d", pool.Workers())
+	}
+	var bases []kernel.Kernel
+	var bound []kernel.Kernel
+	for i := 0; i < 4; i++ {
+		w := mat.New(12, 5+i)
+		w.Randomize(rng, 1)
+		base := kernel.NewDense(w)
+		bases = append(bases, base)
+		bound = append(bound, pool.Bind(base))
+	}
+	x := mat.New(16, 12)
+	x.Randomize(rng, 1)
+	for i, bk := range bound {
+		want := kernel.Mul(bases[i], x)
+		got := mat.New(16, 5+i)
+		bk.MulInto(got, x)
+		if !mat.Equal(got, want, 0) {
+			t.Fatalf("bound kernel %d differs from serial", i)
+		}
+	}
+	// binding an already-bound kernel re-binds the inner, not the wrapper
+	rebound := pool.Bind(bound[0]).(*kernel.ParallelKernel)
+	if rebound.Inner() != bases[0] {
+		t.Fatal("Bind nested a ParallelKernel")
+	}
+}
+
+// TestParallelShapePanics: the executor validates the full destination
+// before fanning out.
+func TestParallelShapePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	w := mat.New(8, 8)
+	w.Randomize(rng, 1)
+	p := kernel.Parallel(kernel.NewDense(w), 2).(*kernel.ParallelKernel)
+	defer p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad dst shape")
+		}
+	}()
+	x := mat.New(16, 8)
+	p.MulInto(mat.New(16, 7), x)
+}
+
+// TestMulIntoZeroAllocs is the steady-state allocation contract of the
+// whole execution API: after warm-up, MulInto allocates nothing — for
+// every sparse format, the dense kernel, and the parallel executor.
+func TestMulIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	w := mat.New(32, 32)
+	w.Randomize(rng, 1)
+	set := pattern.RandomSet(4, 0.6, 3, rng)
+	x := mat.New(32, 32)
+	x.Randomize(rng, 1)
+
+	kernels := map[string]kernel.Kernel{}
+	for _, name := range kernel.Formats() {
+		k, err := kernel.Build(name, w, kernel.Options{Set: set})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernels[name] = k
+	}
+	pk, err := kernel.Build("pattern", w, kernel.Options{Set: set, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pk.(*kernel.ParallelKernel).Close()
+	kernels["pattern-parallel"] = pk
+
+	for name, k := range kernels {
+		dst := mat.New(32, 32)
+		k.MulInto(dst, x) // warm up worker pools and runtime internals
+		if allocs := testing.AllocsPerRun(50, func() { k.MulInto(dst, x) }); allocs != 0 {
+			t.Errorf("%s: %v allocs per MulInto, want 0", name, allocs)
+		}
+	}
+}
+
+// TestRegistryErrors covers the failure modes callers hit from flags.
+func TestRegistryErrors(t *testing.T) {
+	w := mat.New(4, 4)
+	if _, err := kernel.Build("nope", w, kernel.Options{}); err == nil {
+		t.Fatal("unknown format accepted")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("error does not name the format: %v", err)
+	}
+	if _, err := kernel.Build("pattern", w, kernel.Options{}); err == nil {
+		t.Fatal("pattern without a set accepted")
+	}
+}
+
+// TestRegistryNamesAndCustomFormat checks Names ordering and that a
+// custom registry entry participates in Build like the built-ins.
+func TestRegistryNamesAndCustomFormat(t *testing.T) {
+	r := kernel.NewRegistry()
+	r.Register("b", func(w *mat.Matrix, _ kernel.Options) (kernel.Kernel, error) {
+		return kernel.NewDense(w), nil
+	})
+	r.Register("a", func(w *mat.Matrix, _ kernel.Options) (kernel.Kernel, error) {
+		return sparse.NewCSR(w), nil
+	})
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	rng := rand.New(rand.NewSource(19))
+	w := mat.New(6, 5)
+	w.Randomize(rng, 1)
+	x := mat.New(3, 6)
+	x.Randomize(rng, 1)
+	ka, err := r.Build("a", w, kernel.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ka.(*kernel.ParallelKernel).Close()
+	kb, err := r.Build("b", w, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(kernel.Mul(ka, x), kernel.Mul(kb, x), 1e-9) {
+		t.Fatal("custom registry formats disagree")
+	}
+	if got := len(kernel.Formats()); got != 5 {
+		t.Fatalf("default registry has %d formats, want 5", got)
+	}
+}

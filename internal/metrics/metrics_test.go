@@ -144,3 +144,46 @@ func TestQuantile(t *testing.T) {
 		t.Fatal("Quantile mutated its input")
 	}
 }
+
+func TestQuantileEdgeCases(t *testing.T) {
+	// single sample: every q returns that sample
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 0.99, 1, 2} {
+		if got := Quantile([]float64{7.5}, q); got != 7.5 {
+			t.Fatalf("single-sample Quantile(q=%g) = %g, want 7.5", q, got)
+		}
+	}
+	// out-of-range q clamps to the extremes
+	v := []float64{9, 2, 4}
+	if got := Quantile(v, -0.5); got != 2 {
+		t.Fatalf("Quantile(q<0) = %g, want min 2", got)
+	}
+	if got := Quantile(v, 1.5); got != 9 {
+		t.Fatalf("Quantile(q>1) = %g, want max 9", got)
+	}
+	// empty input is 0 for every q, not a panic
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := Quantile(nil, q); got != 0 {
+			t.Fatalf("empty Quantile(q=%g) = %g", q, got)
+		}
+		if got := Quantile([]float64{}, q); got != 0 {
+			t.Fatalf("empty-slice Quantile(q=%g) = %g", q, got)
+		}
+	}
+	// unsorted input: monotone in q and bracketed by min/max
+	u := []float64{3, -1, 10, 4, 4, 0}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.1 {
+		got := Quantile(u, q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone at q=%.1f: %g < %g", q, got, prev)
+		}
+		if got < -1 || got > 10 {
+			t.Fatalf("Quantile(q=%.1f) = %g outside data range", q, got)
+		}
+		prev = got
+	}
+	// duplicates at the tie: exact order statistic, no interpolation drift
+	if got := Quantile([]float64{1, 4, 4, 8}, 0.5); got != 4 {
+		t.Fatalf("tied median = %g, want 4", got)
+	}
+}

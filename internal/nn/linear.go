@@ -4,16 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"rt3/internal/kernel"
 	"rt3/internal/mat"
 )
-
-// MatMultiplier computes Y = X @ W from a packed representation of W
-// (see internal/sparse). Installing one on a Linear switches its forward
-// pass to the packed kernel — the serving-time execution path after an
-// RT3 pattern-set swap — without touching the dense weights.
-type MatMultiplier interface {
-	MulMat(x *mat.Matrix) *mat.Matrix
-}
 
 // Linear is a fully connected layer computing Y = X @ W + b, where X is
 // batch x in, W is in x out and b is 1 x out.
@@ -22,8 +15,14 @@ type Linear struct {
 	W       *Parameter
 	B       *Parameter
 
-	// mul, when non-nil, replaces the dense X @ W product in Forward.
-	mul MatMultiplier
+	// kern, when non-nil, replaces the dense X @ W product in Forward
+	// with a packed execution kernel (see internal/kernel).
+	kern kernel.Kernel
+
+	// out is the reusable destination buffer Forward writes through when
+	// reuse is on; nil or stale-shaped buffers are (re)allocated lazily.
+	out   *mat.Matrix
+	reuse bool
 
 	// cached forward input for the backward pass
 	x *mat.Matrix
@@ -44,14 +43,49 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 // Params implements Module.
 func (l *Linear) Params() []*Parameter { return []*Parameter{l.W, l.B} }
 
-// SetMultiplier installs a packed kernel used by Forward in place of the
-// dense X @ W product; nil restores dense execution. The backward pass
-// always differentiates through the dense weights, so training code must
-// not leave a multiplier installed across weight updates.
-func (l *Linear) SetMultiplier(m MatMultiplier) { l.mul = m }
+// SetKernel installs a packed execution kernel used by Forward in place
+// of the dense X @ W product; nil restores dense execution. The kernel's
+// dims must match the layer. Installing a kernel switches Forward to the
+// serving-time execution path: the dense W is no longer read, so weight
+// updates do not reach a stale kernel — Backward guards against that by
+// refusing to run while a kernel is installed.
+func (l *Linear) SetKernel(k kernel.Kernel) {
+	if k != nil {
+		in, out := k.Dims()
+		if in != l.In || out != l.Out {
+			panic(fmt.Sprintf("nn: Linear %s kernel dims %dx%d, want %dx%d", l.W.Name, in, out, l.In, l.Out))
+		}
+	}
+	l.kern = k
+}
 
-// Multiplier returns the installed packed kernel, or nil when dense.
-func (l *Linear) Multiplier() MatMultiplier { return l.mul }
+// Kernel returns the installed packed kernel, or nil when dense.
+func (l *Linear) Kernel() kernel.Kernel { return l.kern }
+
+// SetBufferReuse toggles the preallocated output buffer. With reuse on,
+// Forward writes into one reusable destination (reallocated only when
+// the batch size changes) and returns it: zero steady-state allocations,
+// but the previous call's output is overwritten, so callers retaining
+// outputs across forward passes must copy them first. Off (the default)
+// preserves fresh-allocation semantics.
+func (l *Linear) SetBufferReuse(on bool) {
+	l.reuse = on
+	if !on {
+		l.out = nil
+	}
+}
+
+// output returns the Forward destination for a batch of the given size:
+// the reusable buffer when reuse is on, a fresh matrix otherwise.
+func (l *Linear) output(rows int) *mat.Matrix {
+	if l.reuse {
+		if l.out == nil || l.out.Rows != rows {
+			l.out = mat.New(rows, l.Out)
+		}
+		return l.out
+	}
+	return mat.New(rows, l.Out)
+}
 
 // Forward computes the affine map for a batch x In input.
 func (l *Linear) Forward(x *mat.Matrix) *mat.Matrix {
@@ -59,20 +93,28 @@ func (l *Linear) Forward(x *mat.Matrix) *mat.Matrix {
 		panic(fmt.Sprintf("nn: Linear %s input cols %d != in %d", l.W.Name, x.Cols, l.In))
 	}
 	l.x = x
-	if l.mul != nil {
-		y := l.mul.MulMat(x)
-		y.AddRowVector(l.B.Value.Data)
-		return y
+	y := l.output(x.Rows)
+	if l.kern != nil {
+		l.kern.MulInto(y, x)
+	} else {
+		mat.MatMul(y, x, l.W.Value)
 	}
-	y := mat.New(x.Rows, l.Out)
-	mat.MatMul(y, x, l.W.Value)
 	y.AddRowVector(l.B.Value.Data)
 	return y
 }
 
 // Backward accumulates dL/dW and dL/db from the upstream gradient and
 // returns dL/dX. Forward must have been called first.
+//
+// Backward always differentiates through the dense W. When a packed
+// kernel is installed, Forward computed through pruned weights, so the
+// gradients would be silently inconsistent (and the updated W would
+// never reach the already-packed kernel); Backward therefore panics
+// until SetKernel(nil) restores dense execution.
 func (l *Linear) Backward(dy *mat.Matrix) *mat.Matrix {
+	if l.kern != nil {
+		panic(fmt.Sprintf("nn: Linear %s Backward with a packed kernel installed: Forward ran pruned weights but Backward would differentiate the dense W; call SetKernel(nil) before training", l.W.Name))
+	}
 	if l.x == nil {
 		panic("nn: Linear.Backward before Forward")
 	}

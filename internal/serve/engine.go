@@ -1,6 +1,6 @@
 // Package serve is the online half of the RT3 story: a concurrent,
 // batched inference server whose execution engine runs Transformer
-// forward passes through the pattern-packed sparse kernels and can be
+// forward passes through packed sparse kernels and can be
 // hot-reconfigured — swapping the active pattern set and V/F level in
 // place, with in-flight batches drained first and the switch cost
 // charged through the rtswitch cost model. A policy hook (battery
@@ -16,47 +16,94 @@ import (
 
 	"rt3/internal/deploy"
 	"rt3/internal/dvfs"
+	"rt3/internal/kernel"
 	"rt3/internal/mat"
 	"rt3/internal/nn"
 	"rt3/internal/pattern"
 	"rt3/internal/rtswitch"
-	"rt3/internal/sparse"
 )
 
 // Model is the inference surface the engine executes: one token sequence
 // in, one output matrix out, with the prunable projection layers exposed
-// so packed kernels can be installed. Both transformer.Classifier and
-// transformer.LMModel satisfy it.
+// so packed kernels can be installed and activation buffers preallocated.
+// Both transformer.Classifier and transformer.LMModel satisfy it.
 type Model interface {
 	Forward(ids []int) *mat.Matrix
 	PrunableLinears() []*nn.Linear
+	// SetBufferReuse toggles preallocated activation buffers; the engine
+	// turns it on so steady-state forward passes skip per-layer output
+	// allocations (outputs are copied at the engine boundary).
+	SetBufferReuse(on bool)
+}
+
+// EngineConfig selects how the engine executes packed levels.
+type EngineConfig struct {
+	// Format names the execution format built from the kernel registry
+	// for every (level, layer) pair. Default "pattern" — the RT3 serving
+	// format; any registered format ("coo", "csr", "blockcsr", "dense")
+	// executes the same pattern-masked weights.
+	Format string
+	// KernelWorkers, when > 1, wraps every packed kernel in
+	// kernel.Parallel(k, KernelWorkers) so a single forward pass
+	// row-partitions its batch across cores. Default 1: within-replica
+	// execution stays single-threaded and the worker pool parallelizes
+	// across replicas instead.
+	KernelWorkers int
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.Format == "" {
+		c.Format = "pattern"
+	}
+	if c.KernelWorkers < 1 {
+		c.KernelWorkers = 1
+	}
+	return c
 }
 
 // Engine owns a deployed bundle at run time: the shared dense backbone,
-// one pre-packed kernel set per V/F level, and one model replica per
+// one pre-built kernel set per V/F level, and one model replica per
 // worker (replicas share the read-only packed kernels but keep private
-// layer caches, so workers can run forward passes concurrently).
+// layer caches and activation buffers, so workers can run forward passes
+// concurrently).
 type Engine struct {
 	bundle *deploy.Bundle
 	recon  *rtswitch.Reconfigurator
+	cfg    EngineConfig
 
 	replicas []Model
 	// weights[j] is the dense backbone matrix feeding prunable linear j
 	// (same order as Model.PrunableLinears).
 	weights []*mat.Matrix
-	// packed[level][j] is the pattern-packed kernel for linear j at level.
-	packed [][]*sparse.Pattern
+	// kernels[r][level][j] is the execution kernel replica r installs for
+	// linear j at level, built from the kernel registry per EngineConfig.
+	// The packed storage is shared across replicas (read-only), but a
+	// parallel executor carries per-call state, so each replica binds the
+	// shared kernels to its own pool — replicas run forward passes
+	// concurrently, while layers within one replica run sequentially.
+	kernels [][][]kernel.Kernel
+	// pools[r] is replica r's worker pool (nil when KernelWorkers <= 1).
+	pools []*kernel.Pool
 
 	// level mirrors recon.Current() for lock-free reads: monitoring code
 	// may call Level concurrently with a switch.
 	level atomic.Int32
 }
 
-// NewEngine deploys a bundle onto the given model replicas: backbone
-// weights are written into every replica's prunable projections, each
-// level's pattern set is packed once, and the first (fastest) level is
-// activated. All replicas must be clones of the same checkpoint.
+// NewEngine deploys a bundle onto the given model replicas with the
+// default configuration (pattern-packed kernels, no intra-kernel
+// parallelism). See NewEngineConfigured.
 func NewEngine(bundle *deploy.Bundle, replicas []Model, costs rtswitch.SwitchCostModel) (*Engine, error) {
+	return NewEngineConfigured(bundle, replicas, costs, EngineConfig{})
+}
+
+// NewEngineConfigured deploys a bundle onto the given model replicas:
+// backbone weights are written into every replica's prunable
+// projections, each level's kernels are built once through the kernel
+// registry, activation-buffer reuse is enabled on every replica, and the
+// first (fastest) level is activated. All replicas must be clones of the
+// same checkpoint.
+func NewEngineConfigured(bundle *deploy.Bundle, replicas []Model, costs rtswitch.SwitchCostModel, cfg EngineConfig) (*Engine, error) {
 	if len(replicas) == 0 {
 		return nil, fmt.Errorf("serve: need at least one model replica")
 	}
@@ -64,7 +111,7 @@ func NewEngine(bundle *deploy.Bundle, replicas []Model, costs rtswitch.SwitchCos
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{bundle: bundle, recon: recon, replicas: replicas}
+	e := &Engine{bundle: bundle, recon: recon, cfg: cfg.withDefaults(), replicas: replicas}
 
 	lins := replicas[0].PrunableLinears()
 	if len(lins) == 0 {
@@ -92,31 +139,67 @@ func NewEngine(bundle *deploy.Bundle, replicas []Model, costs rtswitch.SwitchCos
 			}
 			l.W.Value.CopyFrom(e.weights[j])
 		}
+		r.SetBufferReuse(true)
 	}
-	e.packed = make([][]*sparse.Pattern, len(bundle.Sets))
+	// pack each (level, layer) once — the storage is read-only and shared
+	// — then wrap per replica, because kernel.Parallel wrappers carry
+	// per-call state and must not be shared across concurrent callers.
+	packed := make([][]kernel.Kernel, len(bundle.Sets))
 	for lvl, set := range bundle.Sets {
-		e.packed[lvl] = make([]*sparse.Pattern, len(e.weights))
+		packed[lvl] = make([]kernel.Kernel, len(e.weights))
 		for j, w := range e.weights {
-			p, err := sparse.PackSet(w, set)
+			k, err := kernel.Build(e.cfg.Format, w, kernel.Options{Set: set})
 			if err != nil {
-				return nil, fmt.Errorf("serve: packing level %s weight %s: %w", bundle.LevelNames[lvl], lins[j].W.Name, err)
+				return nil, fmt.Errorf("serve: building %s kernel for level %s weight %s: %w",
+					e.cfg.Format, bundle.LevelNames[lvl], lins[j].W.Name, err)
 			}
-			e.packed[lvl][j] = p
+			packed[lvl][j] = k
+		}
+	}
+	e.kernels = make([][][]kernel.Kernel, len(e.replicas))
+	e.pools = make([]*kernel.Pool, len(e.replicas))
+	for ri := range e.replicas {
+		if e.cfg.KernelWorkers > 1 {
+			e.pools[ri] = kernel.NewPool(e.cfg.KernelWorkers)
+		}
+		e.kernels[ri] = make([][]kernel.Kernel, len(packed))
+		for lvl := range packed {
+			e.kernels[ri][lvl] = make([]kernel.Kernel, len(packed[lvl]))
+			for j, k := range packed[lvl] {
+				if e.pools[ri] != nil {
+					k = e.pools[ri].Bind(k)
+				}
+				e.kernels[ri][lvl][j] = k
+			}
 		}
 	}
 	e.install(0)
 	return e, nil
 }
 
-// install points every replica's prunable linears at the packed kernels
-// of the given level. Callers must ensure no forward pass is in flight.
-func (e *Engine) install(level int) {
-	for _, r := range e.replicas {
-		for j, l := range r.PrunableLinears() {
-			l.SetMultiplier(e.packed[level][j])
+// Close releases the per-replica parallel worker pools (a no-op for
+// KernelWorkers <= 1). The engine must be quiesced; Forward must not be
+// called afterwards.
+func (e *Engine) Close() {
+	for _, p := range e.pools {
+		if p != nil {
+			p.Close()
 		}
 	}
 }
+
+// install points every replica's prunable linears at its packed kernels
+// of the given level. Callers must ensure no forward pass is in flight.
+func (e *Engine) install(level int) {
+	for ri, r := range e.replicas {
+		for j, l := range r.PrunableLinears() {
+			l.SetKernel(e.kernels[ri][level][j])
+		}
+	}
+}
+
+// Format returns the configured kernel format name.
+func (e *Engine) Format() string { return e.cfg.Format }
 
 // NumLevels returns the number of deployed V/F levels.
 func (e *Engine) NumLevels() int { return len(e.bundle.Sets) }
@@ -137,7 +220,9 @@ func (e *Engine) Replicas() int { return len(e.replicas) }
 // SwitchTo activates level idx on every replica and returns the modeled
 // reconfiguration cost in milliseconds (0 when already active). The
 // caller must guarantee no forward pass is in flight — the server drains
-// its workers before calling this.
+// its workers before calling this. A rejected switch leaves the engine
+// serving the previous level: the reconfigurator validates before
+// mutating, and kernels are only re-installed on success.
 func (e *Engine) SwitchTo(idx int) (float64, error) {
 	if idx == e.recon.Current() {
 		return 0, nil
@@ -155,8 +240,10 @@ func (e *Engine) SwitchTo(idx int) (float64, error) {
 func (e *Engine) SwitchStats() (int, float64) { return e.recon.Stats() }
 
 // Forward runs one inference on the given replica at the active level.
+// The returned matrix is the caller's to keep: replicas reuse their
+// activation buffers, so the engine copies the output at the boundary.
 func (e *Engine) Forward(replica int, ids []int) *mat.Matrix {
-	return e.replicas[replica].Forward(ids)
+	return e.replicas[replica].Forward(ids).Clone()
 }
 
 // DenseForward runs one inference on replica 0 with level idx's mask
@@ -175,13 +262,13 @@ func (e *Engine) DenseForward(idx int, ids []int) (*mat.Matrix, error) {
 		masked := e.weights[j].Clone()
 		masked.Hadamard(mask)
 		l.W.Value.CopyFrom(masked)
-		l.SetMultiplier(nil)
+		l.SetKernel(nil)
 	}
-	out := m.Forward(ids)
+	out := m.Forward(ids).Clone()
 	cur := e.recon.Current()
 	for j, l := range lins {
 		l.W.Value.CopyFrom(e.weights[j])
-		l.SetMultiplier(e.packed[cur][j])
+		l.SetKernel(e.kernels[0][cur][j])
 	}
 	return out, nil
 }

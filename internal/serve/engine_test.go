@@ -1,0 +1,205 @@
+package serve_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rt3/internal/mat"
+	"rt3/internal/rtswitch"
+	"rt3/internal/serve"
+	"rt3/internal/transformer"
+)
+
+// newTestModel builds a fresh replica with the newTestDeployment
+// topology; the engine overwrites its weights from the bundle.
+func newTestModel() serve.Model {
+	return transformer.NewClassifier(transformer.Config{
+		Vocab: 24, Dim: 8, Heads: 2, FFHidden: 16, EncLayers: 2, SeqLen: 10, Classes: 3,
+	}, rand.New(rand.NewSource(3)))
+}
+
+// TestEngineFailedSwitchRestoresKernels exercises the restore path: when
+// the reconfigurator rejects a switch, the engine must keep serving the
+// previously active level with consistent kernels — level unchanged,
+// packed output still element-identical to masked dense execution.
+func TestEngineFailedSwitchRestoresKernels(t *testing.T) {
+	eng, _ := newTestDeployment(t, 1)
+	if _, err := eng.SwitchTo(1); err != nil {
+		t.Fatal(err)
+	}
+	seqs := randSeqs(3, 10, 24, 41)
+	before := make([]*mat.Matrix, len(seqs))
+	for i, ids := range seqs {
+		before[i] = eng.Forward(0, ids)
+	}
+
+	if _, err := eng.SwitchTo(eng.NumLevels()); err == nil {
+		t.Fatal("out-of-range switch accepted")
+	}
+	if got := eng.Level(); got != 1 {
+		t.Fatalf("level %d after failed switch, want 1", got)
+	}
+	for i, ids := range seqs {
+		got := eng.Forward(0, ids)
+		if !mat.Equal(got, before[i], 0) {
+			t.Fatalf("request %d: output changed after failed switch", i)
+		}
+		ref, err := eng.DenseForward(1, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mat.Equal(got, ref, 1e-9) {
+			t.Fatalf("request %d: packed forward differs from dense after failed switch", i)
+		}
+	}
+	// the engine must still switch cleanly afterwards
+	if _, err := eng.SwitchTo(2); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Level() != 2 {
+		t.Fatalf("level %d after recovery switch, want 2", eng.Level())
+	}
+}
+
+// TestEngineAlternateFormats deploys the same bundle through every
+// non-default registry format: the unified kernel API means any format
+// serves an RT3 level with output identical to masked dense execution.
+func TestEngineAlternateFormats(t *testing.T) {
+	for _, format := range []string{"dense", "coo", "csr", "blockcsr"} {
+		format := format
+		t.Run(format, func(t *testing.T) {
+			eng, bundle := newTestDeployment(t, 1)
+			alt, err := serve.NewEngineConfigured(bundle, []serve.Model{newTestModel()},
+				rtswitch.DefaultSwitchCostModel(), serve.EngineConfig{Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if alt.Format() != format {
+				t.Fatalf("Format() = %q", alt.Format())
+			}
+			seqs := randSeqs(3, 10, 24, 43)
+			for lvl := 0; lvl < alt.NumLevels(); lvl++ {
+				if _, err := alt.SwitchTo(lvl); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := eng.SwitchTo(lvl); err != nil {
+					t.Fatal(err)
+				}
+				for _, ids := range seqs {
+					got := alt.Forward(0, ids)
+					want := eng.Forward(0, ids)
+					if !mat.Equal(got, want, 1e-9) {
+						t.Fatalf("level %d: %s engine differs from pattern engine", lvl, format)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineKernelWorkers checks intra-kernel parallelism end to end:
+// a KernelWorkers > 1 engine must produce identical outputs.
+func TestEngineKernelWorkers(t *testing.T) {
+	eng, bundle := newTestDeployment(t, 1)
+	par, err := serve.NewEngineConfigured(bundle, []serve.Model{newTestModel()},
+		rtswitch.DefaultSwitchCostModel(), serve.EngineConfig{KernelWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	seqs := randSeqs(4, 10, 24, 47)
+	for lvl := 0; lvl < eng.NumLevels(); lvl++ {
+		if _, err := eng.SwitchTo(lvl); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := par.SwitchTo(lvl); err != nil {
+			t.Fatal(err)
+		}
+		for _, ids := range seqs {
+			if !mat.Equal(par.Forward(0, ids), eng.Forward(0, ids), 1e-12) {
+				t.Fatalf("level %d: parallel-kernel engine differs", lvl)
+			}
+		}
+	}
+}
+
+// TestEngineKernelWorkersConcurrentReplicas is the regression test for
+// the shared-wrapper race: with KernelWorkers > 1 every replica must own
+// its own parallel executor (the wrapper carries per-call state), so
+// concurrent forward passes on different replicas — exactly what the
+// server's worker pool does — stay correct. Run under -race in CI.
+func TestEngineKernelWorkersConcurrentReplicas(t *testing.T) {
+	_, bundle := newTestDeployment(t, 1)
+	eng, err := serve.NewEngineConfigured(bundle,
+		[]serve.Model{newTestModel(), newTestModel()},
+		rtswitch.DefaultSwitchCostModel(), serve.EngineConfig{KernelWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	seqs := randSeqs(2, 10, 24, 59)
+	refs := make([]*mat.Matrix, len(seqs))
+	for i, ids := range seqs {
+		var err error
+		refs[i], err = eng.DenseForward(0, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	const rounds = 50
+	errc := make(chan error, 2)
+	for r := 0; r < 2; r++ {
+		r := r
+		go func() {
+			for i := 0; i < rounds; i++ {
+				got := eng.Forward(r, seqs[r])
+				if !mat.Equal(got, refs[r], 1e-9) {
+					errc <- fmt.Errorf("replica %d round %d: output corrupted", r, i)
+					return
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEngineUnknownFormat: a bad format name must fail deployment with a
+// helpful error, not panic at serving time.
+func TestEngineUnknownFormat(t *testing.T) {
+	_, bundle := newTestDeployment(t, 1)
+	_, err := serve.NewEngineConfigured(bundle, []serve.Model{newTestModel()},
+		rtswitch.DefaultSwitchCostModel(), serve.EngineConfig{Format: "nope"})
+	if err == nil {
+		t.Fatal("unknown kernel format accepted")
+	}
+}
+
+// TestEngineForwardOutputsIndependent pins the boundary-copy contract:
+// replicas reuse activation buffers internally, so successive Forward
+// results must still be independent matrices the caller can retain.
+func TestEngineForwardOutputsIndependent(t *testing.T) {
+	eng, _ := newTestDeployment(t, 1)
+	seqs := randSeqs(2, 10, 24, 53)
+	a := eng.Forward(0, seqs[0])
+	aCopy := a.Clone()
+	b := eng.Forward(0, seqs[1])
+	if &a.Data[0] == &b.Data[0] {
+		t.Fatal("successive Forward outputs share storage")
+	}
+	if !mat.Equal(a, aCopy, 0) {
+		t.Fatal("earlier response mutated by a later forward pass")
+	}
+	ref, err := eng.DenseForward(0, seqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(a, ref, 1e-9) {
+		t.Fatal("retained response no longer matches dense execution")
+	}
+}

@@ -13,12 +13,12 @@ const recentWindow = 256
 
 // LevelStats summarizes completed requests at one V/F level.
 type LevelStats struct {
-	Level   string
-	Count   int
-	MeanMS  float64
-	P50MS   float64
-	P95MS   float64
-	P99MS   float64
+	Level  string
+	Count  int
+	MeanMS float64
+	P50MS  float64
+	P95MS  float64
+	P99MS  float64
 }
 
 // Recorder accumulates serving observations: per-level request latencies,

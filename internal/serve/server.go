@@ -109,9 +109,9 @@ type Status struct {
 // swaps the active pattern set and V/F level on the engine, and charges
 // the modeled reconfiguration cost.
 type Server struct {
-	cfg     Config
-	eng     *Engine
-	rec     *Recorder
+	cfg Config
+	eng *Engine
+	rec *Recorder
 
 	batMu   sync.Mutex
 	battery *dvfs.Battery // guarded by batMu

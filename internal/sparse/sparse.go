@@ -6,6 +6,10 @@
 // verified element-for-element against dense execution in the tests; the
 // benchmark harness uses them to ground the hwsim cost-model ordering in
 // actual kernel behaviour.
+//
+// Every format implements the destination-passing MulInto kernel (zero
+// allocations in steady state) shared with internal/kernel; MulMat is a
+// thin allocating shim kept for convenience and legacy tests.
 package sparse
 
 import (
@@ -13,6 +17,17 @@ import (
 
 	"rt3/internal/mat"
 )
+
+// checkMulShapes validates one X @ W product: x is batch x rows and dst
+// is batch x cols, where the format stores a rows x cols weight matrix.
+func checkMulShapes(format string, dst, x *mat.Matrix, rows, cols int) {
+	if x.Cols != rows {
+		panic(fmt.Sprintf("sparse: %s MulInto x cols %d != rows %d", format, x.Cols, rows))
+	}
+	if dst.Rows != x.Rows || dst.Cols != cols {
+		panic(fmt.Sprintf("sparse: %s MulInto dst %dx%d, want %dx%d", format, dst.Rows, dst.Cols, x.Rows, cols))
+	}
+}
 
 // COO stores (row, col, value) triples — the layout the paper's
 // Challenge 1 attributes to irregular pruning, with two index words per
@@ -40,14 +55,16 @@ func NewCOO(w *mat.Matrix) *COO {
 	return c
 }
 
+// Dims returns the logical (rows, cols) of the stored weight matrix.
+func (c *COO) Dims() (rows, cols int) { return c.Rows, c.Cols }
+
 // NNZ returns the stored nonzero count.
 func (c *COO) NNZ() int { return len(c.Val) }
 
 // IndexWords returns the number of stored index words (2 per nonzero).
 func (c *COO) IndexWords() int { return 2 * len(c.Val) }
 
-// MulVec computes y = W^T x? No: y = x @ W for a row-vector x of length
-// Rows... — see MulMat; MulVec computes y (len Cols) = x (len Rows) @ W.
+// MulVec computes y (len Cols) = x (len Rows) @ W.
 func (c *COO) MulVec(x []float64) []float64 {
 	if len(x) != c.Rows {
 		panic(fmt.Sprintf("sparse: COO MulVec len %d != rows %d", len(x), c.Rows))
@@ -59,19 +76,24 @@ func (c *COO) MulVec(x []float64) []float64 {
 	return y
 }
 
-// MulMat computes Y = X @ W where X is batch x Rows.
-func (c *COO) MulMat(x *mat.Matrix) *mat.Matrix {
-	if x.Cols != c.Rows {
-		panic(fmt.Sprintf("sparse: COO MulMat cols %d != rows %d", x.Cols, c.Rows))
-	}
-	y := mat.New(x.Rows, c.Cols)
+// MulInto computes dst = X @ W for X batch x Rows into the pre-allocated
+// batch x Cols destination, allocation-free.
+func (c *COO) MulInto(dst, x *mat.Matrix) {
+	checkMulShapes("COO", dst, x, c.Rows, c.Cols)
+	dst.Zero()
 	for b := 0; b < x.Rows; b++ {
 		xr := x.Row(b)
-		yr := y.Row(b)
+		yr := dst.Row(b)
 		for k, v := range c.Val {
 			yr[c.ColIdx[k]] += xr[c.RowIdx[k]] * v
 		}
 	}
+}
+
+// MulMat computes Y = X @ W where X is batch x Rows.
+func (c *COO) MulMat(x *mat.Matrix) *mat.Matrix {
+	y := mat.New(x.Rows, c.Cols)
+	c.MulInto(y, x)
 	return y
 }
 
@@ -100,21 +122,23 @@ func NewCSR(w *mat.Matrix) *CSR {
 	return c
 }
 
+// Dims returns the logical (rows, cols) of the stored weight matrix.
+func (c *CSR) Dims() (rows, cols int) { return c.Rows, c.Cols }
+
 // NNZ returns the stored nonzero count.
 func (c *CSR) NNZ() int { return len(c.Val) }
 
 // IndexWords returns stored index words (1 per nonzero + row pointers).
 func (c *CSR) IndexWords() int { return len(c.ColIdx) + len(c.RowPtr) }
 
-// MulMat computes Y = X @ W where X is batch x Rows.
-func (c *CSR) MulMat(x *mat.Matrix) *mat.Matrix {
-	if x.Cols != c.Rows {
-		panic(fmt.Sprintf("sparse: CSR MulMat cols %d != rows %d", x.Cols, c.Rows))
-	}
-	y := mat.New(x.Rows, c.Cols)
+// MulInto computes dst = X @ W for X batch x Rows into the pre-allocated
+// batch x Cols destination, allocation-free.
+func (c *CSR) MulInto(dst, x *mat.Matrix) {
+	checkMulShapes("CSR", dst, x, c.Rows, c.Cols)
+	dst.Zero()
 	for b := 0; b < x.Rows; b++ {
 		xr := x.Row(b)
-		yr := y.Row(b)
+		yr := dst.Row(b)
 		for i := 0; i < c.Rows; i++ {
 			xv := xr[i]
 			if xv == 0 {
@@ -125,6 +149,12 @@ func (c *CSR) MulMat(x *mat.Matrix) *mat.Matrix {
 			}
 		}
 	}
+}
+
+// MulMat computes Y = X @ W where X is batch x Rows.
+func (c *CSR) MulMat(x *mat.Matrix) *mat.Matrix {
+	y := mat.New(x.Rows, c.Cols)
+	c.MulInto(y, x)
 	return y
 }
 
@@ -185,6 +215,9 @@ func NewBlockCSR(w *mat.Matrix, numBlocks int) *BlockCSR {
 	return c
 }
 
+// Dims returns the logical (rows, cols) of the stored weight matrix.
+func (c *BlockCSR) Dims() (rows, cols int) { return c.Rows, c.Cols }
+
 // NNZ returns the stored value count (the dense survivor panels).
 func (c *BlockCSR) NNZ() int {
 	n := 0
@@ -204,15 +237,14 @@ func (c *BlockCSR) IndexWords() int {
 	return n
 }
 
-// MulMat computes Y = X @ W where X is batch x Rows.
-func (c *BlockCSR) MulMat(x *mat.Matrix) *mat.Matrix {
-	if x.Cols != c.Rows {
-		panic(fmt.Sprintf("sparse: BlockCSR MulMat cols %d != rows %d", x.Cols, c.Rows))
-	}
-	y := mat.New(x.Rows, c.Cols)
+// MulInto computes dst = X @ W for X batch x Rows into the pre-allocated
+// batch x Cols destination, allocation-free.
+func (c *BlockCSR) MulInto(dst, x *mat.Matrix) {
+	checkMulShapes("BlockCSR", dst, x, c.Rows, c.Cols)
+	dst.Zero()
 	for bi := 0; bi < x.Rows; bi++ {
 		xr := x.Row(bi)
-		yr := y.Row(bi)
+		yr := dst.Row(bi)
 		for _, blk := range c.Blocks {
 			nc := len(blk.cols)
 			for i := blk.r0; i < blk.r1; i++ {
@@ -227,6 +259,12 @@ func (c *BlockCSR) MulMat(x *mat.Matrix) *mat.Matrix {
 			}
 		}
 	}
+}
+
+// MulMat computes Y = X @ W where X is batch x Rows.
+func (c *BlockCSR) MulMat(x *mat.Matrix) *mat.Matrix {
+	y := mat.New(x.Rows, c.Cols)
+	c.MulInto(y, x)
 	return y
 }
 
@@ -246,7 +284,10 @@ type Pattern struct {
 type patternTile struct {
 	r0, c0 int
 	id     int32
-	vals   []float64 // len == len(Dict[id]), in dictionary order
+	// interior marks tiles lying fully inside the matrix, letting the
+	// hot loop skip per-element bounds checks (edge tiles keep them).
+	interior bool
+	vals     []float64 // len == len(Dict[id]), in dictionary order
 }
 
 // NewPattern packs w given the per-tile pattern choices. bits[i] holds
@@ -286,7 +327,11 @@ func NewPattern(w *mat.Matrix, psize int, bits [][]uint8, choices []int) (*Patte
 					vals[k] = w.At(rr, cc)
 				}
 			}
-			p.Tiles = append(p.Tiles, patternTile{r0: r, c0: c, id: int32(id), vals: vals})
+			p.Tiles = append(p.Tiles, patternTile{
+				r0: r, c0: c, id: int32(id),
+				interior: r+psize <= w.Rows && c+psize <= w.Cols,
+				vals:     vals,
+			})
 			t++
 		}
 	}
@@ -295,6 +340,9 @@ func NewPattern(w *mat.Matrix, psize int, bits [][]uint8, choices []int) (*Patte
 	}
 	return p, nil
 }
+
+// Dims returns the logical (rows, cols) of the stored weight matrix.
+func (p *Pattern) Dims() (rows, cols int) { return p.Rows, p.Cols }
 
 // NNZ returns the stored value count.
 func (p *Pattern) NNZ() int {
@@ -315,17 +363,29 @@ func (p *Pattern) IndexWords() int {
 	return n
 }
 
-// MulMat computes Y = X @ W where X is batch x Rows.
-func (p *Pattern) MulMat(x *mat.Matrix) *mat.Matrix {
-	if x.Cols != p.Rows {
-		panic(fmt.Sprintf("sparse: Pattern MulMat cols %d != rows %d", x.Cols, p.Rows))
-	}
-	y := mat.New(x.Rows, p.Cols)
+// MulInto computes dst = X @ W for X batch x Rows into the pre-allocated
+// batch x Cols destination, allocation-free. Interior tiles run a
+// bounds-check-free inner loop; edge tiles (when Rows or Cols is not a
+// multiple of PSize) keep the per-element clipping.
+func (p *Pattern) MulInto(dst, x *mat.Matrix) {
+	checkMulShapes("Pattern", dst, x, p.Rows, p.Cols)
+	dst.Zero()
 	for bi := 0; bi < x.Rows; bi++ {
 		xr := x.Row(bi)
-		yr := y.Row(bi)
-		for _, t := range p.Tiles {
+		yr := dst.Row(bi)
+		for ti := range p.Tiles {
+			t := &p.Tiles[ti]
 			offs := p.Dict[t.id]
+			if t.interior {
+				for k, v := range t.vals {
+					if v == 0 {
+						continue
+					}
+					o := offs[k]
+					yr[t.c0+int(o[1])] += xr[t.r0+int(o[0])] * v
+				}
+				continue
+			}
 			for k, v := range t.vals {
 				if v == 0 {
 					continue
@@ -338,10 +398,18 @@ func (p *Pattern) MulMat(x *mat.Matrix) *mat.Matrix {
 			}
 		}
 	}
+}
+
+// MulMat computes Y = X @ W where X is batch x Rows.
+func (p *Pattern) MulMat(x *mat.Matrix) *mat.Matrix {
+	y := mat.New(x.Rows, p.Cols)
+	p.MulInto(y, x)
 	return y
 }
 
-// Multiplier is the common interface of all packed formats.
+// Multiplier is the legacy allocating interface of all packed formats;
+// new code should program against kernel.Kernel (destination-passing
+// MulInto) instead.
 type Multiplier interface {
 	MulMat(x *mat.Matrix) *mat.Matrix
 	NNZ() int

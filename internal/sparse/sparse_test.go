@@ -28,6 +28,30 @@ func denseMul(x, w *mat.Matrix) *mat.Matrix {
 	return y
 }
 
+// intoMultiplier is the destination-passing surface shared with
+// internal/kernel, used to exercise MulInto alongside MulMat.
+type intoMultiplier interface {
+	Multiplier
+	MulInto(dst, x *mat.Matrix)
+	Dims() (int, int)
+}
+
+// mulBoth runs both execution paths of m and fails if they disagree:
+// the allocating shim must be a pure wrapper over MulInto, and MulInto
+// must fully overwrite (not accumulate into) a dirty destination.
+func mulBoth(t testing.TB, m intoMultiplier, x *mat.Matrix) *mat.Matrix {
+	t.Helper()
+	y := m.MulMat(x)
+	_, cols := m.Dims()
+	dst := mat.New(x.Rows, cols)
+	dst.Fill(1e9) // poison: stale values must not leak through
+	m.MulInto(dst, x)
+	if !mat.Equal(dst, y, 0) {
+		t.Fatal("MulInto differs from MulMat")
+	}
+	return y
+}
+
 func TestCOOMatchesDense(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -35,7 +59,7 @@ func TestCOOMatchesDense(t *testing.T) {
 		w := sparseRandom(rows, cols, 0.5, seed)
 		x := mat.New(batch, rows)
 		x.Randomize(rng, 1)
-		return mat.Equal(NewCOO(w).MulMat(x), denseMul(x, w), 1e-9)
+		return mat.Equal(mulBoth(t, NewCOO(w), x), denseMul(x, w), 1e-9)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -64,7 +88,7 @@ func TestCSRMatchesDense(t *testing.T) {
 		w := sparseRandom(rows, cols, 0.7, seed)
 		x := mat.New(batch, rows)
 		x.Randomize(rng, 1)
-		return mat.Equal(NewCSR(w).MulMat(x), denseMul(x, w), 1e-9)
+		return mat.Equal(mulBoth(t, NewCSR(w), x), denseMul(x, w), 1e-9)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -84,7 +108,7 @@ func TestBlockCSRMatchesDense(t *testing.T) {
 		w.Hadamard(mask)
 		x := mat.New(batch, rows)
 		x.Randomize(rng, 1)
-		return mat.Equal(NewBlockCSR(w, 2).MulMat(x), denseMul(x, w), 1e-9)
+		return mat.Equal(mulBoth(t, NewBlockCSR(w, 2), x), denseMul(x, w), 1e-9)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -128,7 +152,7 @@ func TestPatternMatchesDense(t *testing.T) {
 		}
 		x := mat.New(batch, rows)
 		x.Randomize(rng, 1)
-		return mat.Equal(pk.MulMat(x), denseMul(x, masked), 1e-9)
+		return mat.Equal(mulBoth(t, pk, x), denseMul(x, masked), 1e-9)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -153,7 +177,7 @@ func TestPatternHandlesEdgeTiles(t *testing.T) {
 	}
 	x := mat.New(2, 7)
 	x.Randomize(rng, 1)
-	if !mat.Equal(pk.MulMat(x), denseMul(x, masked), 1e-9) {
+	if !mat.Equal(mulBoth(t, pk, x), denseMul(x, masked), 1e-9) {
 		t.Fatal("edge-tile execution differs from dense")
 	}
 }
@@ -203,6 +227,22 @@ func TestShapePanics(t *testing.T) {
 				}
 			}()
 			m.MulMat(x)
+		}()
+	}
+}
+
+func TestMulIntoDstShapePanics(t *testing.T) {
+	w := sparseRandom(4, 4, 0.5, 6)
+	for name, m := range map[string]intoMultiplier{
+		"COO": NewCOO(w), "CSR": NewCSR(w), "BlockCSR": NewBlockCSR(w, 2),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on wrong dst shape", name)
+				}
+			}()
+			m.MulInto(mat.New(2, 3), mat.New(2, 4))
 		}()
 	}
 }

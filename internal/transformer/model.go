@@ -104,6 +104,19 @@ func (m *LMModel) PrunableLinears() []*nn.Linear {
 	return out
 }
 
+// SetBufferReuse toggles preallocated activation buffers on every
+// Linear in the model, including the output projection. With reuse on,
+// each layer's Forward output is overwritten by its next call: the hot
+// serving path runs without per-request activation allocations, but a
+// caller retaining model outputs across forward passes (e.g. a serving
+// engine handing responses to clients) must copy them first.
+func (m *LMModel) SetBufferReuse(on bool) {
+	for _, l := range m.PrunableLinears() {
+		l.SetBufferReuse(on)
+	}
+	m.Proj.SetBufferReuse(on)
+}
+
 // Clone returns an independent model with identical weights — the way a
 // serving worker pool replicates one checkpoint so concurrent forward
 // passes do not share layer caches.
@@ -224,6 +237,16 @@ func (c *Classifier) PrunableLinears() []*nn.Linear {
 		out = append(out, e.PrunableLinears()...)
 	}
 	return out
+}
+
+// SetBufferReuse toggles preallocated activation buffers on every
+// Linear in the model, including the classification head (see
+// LMModel.SetBufferReuse for the aliasing contract).
+func (c *Classifier) SetBufferReuse(on bool) {
+	for _, l := range c.PrunableLinears() {
+		l.SetBufferReuse(on)
+	}
+	c.Head.SetBufferReuse(on)
 }
 
 // Clone returns an independent classifier with identical weights (see
