@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -496,6 +497,62 @@ func BenchmarkServeThroughput(b *testing.B) {
 				}
 				done += n
 			}
+		})
+	}
+}
+
+// BenchmarkBatchedForward measures the tentpole of batched serving:
+// Engine.ForwardBatch fusing a dynamic batch into one packed forward
+// (one kernel product over ΣL rows per layer) versus the per-sequence
+// Engine.Forward loop the worker used to run, on the pattern format at
+// batch sizes 1/4/8/16. ns/op is per batch; the us/seq metric divides
+// by the batch size. Outputs are verified bit-identical before timing.
+func BenchmarkBatchedForward(b *testing.B) {
+	const (
+		vocab  = 32
+		seqLen = 6
+	)
+	rng := rand.New(rand.NewSource(26))
+	model := transformer.NewClassifier(transformer.Config{
+		Vocab: vocab, Dim: 128, Heads: 4, FFHidden: 256, EncLayers: 2, SeqLen: seqLen, Classes: 3,
+	}, rng)
+	ref := model.PrunableLinears()[0].W.Value
+	sets := []*pattern.Set{pattern.GenerateSet(ref, 8, 0.5, 4, rng)}
+	bundle := serve.BundleFromModel(model, sets, []string{"l6"})
+	eng, err := serve.NewEngineConfigured(bundle, []serve.Model{model.Clone()},
+		rtswitch.DefaultSwitchCostModel(), serve.EngineConfig{Format: "pattern"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range []int{1, 4, 8, 16} {
+		batch := batch
+		seqs := make([][]int, batch)
+		for i := range seqs {
+			seqs[i] = make([]int, seqLen)
+			for j := range seqs[i] {
+				seqs[i][j] = rng.Intn(vocab)
+			}
+		}
+		// fused and per-sequence execution must agree bit for bit
+		outs := eng.ForwardBatch(0, seqs)
+		for i, ids := range seqs {
+			if !mat.Equal(outs[i], eng.Forward(0, ids), 0) {
+				b.Fatalf("batch %d seq %d: fused output differs from per-sequence loop", batch, i)
+			}
+		}
+		b.Run(fmt.Sprintf("n%d/fused", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.ForwardBatch(0, seqs)
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*batch), "us/seq")
+		})
+		b.Run(fmt.Sprintf("n%d/perseq", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, ids := range seqs {
+					eng.Forward(0, ids)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N*batch), "us/seq")
 		})
 	}
 }

@@ -21,6 +21,13 @@ type kernelBenchSpec struct {
 	sparsity float64
 	workers  int
 	minTime  time.Duration
+
+	// batched mode: when seqs > 1, a second table compares one fused
+	// MulInto over seqs*seqLen packed rows (what Engine.ForwardBatch
+	// issues per layer) against seqs per-sequence calls of seqLen rows
+	// each (the old per-request loop).
+	seqs   int
+	seqLen int
 }
 
 // runKernelBench times MulInto for every requested registry format and
@@ -68,16 +75,67 @@ func runKernelBench(formats string, spec kernelBenchSpec) error {
 			pk.Close()
 		}
 	}
+	if spec.seqs > 1 {
+		fmt.Println()
+		if err := runBatchedKernelBench(names, w, set, spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBatchedKernelBench prints the batched-execution comparison: one
+// fused MulInto over the packed batch (seqs * seqLen rows — what a
+// packed ForwardBatch issues per projection) versus per-sequence calls
+// of seqLen rows each over the same input.
+func runBatchedKernelBench(names []string, w *mat.Matrix, set *pattern.Set, spec kernelBenchSpec) error {
+	rng := rand.New(rand.NewSource(43))
+	rows := spec.seqs * spec.seqLen
+	x := mat.New(rows, spec.dim)
+	x.Randomize(rng, 1)
+
+	fmt.Printf("batched execution: %d sequences x %d rows fused into one MulInto vs per-sequence calls\n\n",
+		spec.seqs, spec.seqLen)
+	fmt.Printf("%-10s %12s %12s %10s\n", "format", "fused_us", "perseq_us", "speedup")
+	for _, name := range names {
+		k, err := kernel.Build(name, w, kernel.Options{Set: set, Workers: spec.workers})
+		if err != nil {
+			return err
+		}
+		dst := mat.New(rows, spec.dim)
+		k.MulInto(dst, x) // warm up buffers and the worker pool
+
+		fused := timeKernel(k, dst, x, spec.minTime)
+		perSeq := timeKernelFn(func() {
+			for s := 0; s < spec.seqs; s++ {
+				r0, r1 := s*spec.seqLen, (s+1)*spec.seqLen
+				k.MulInto(dst.RowSpan(r0, r1), x.RowSpan(r0, r1))
+			}
+		}, spec.minTime)
+		fmt.Printf("%-10s %12.2f %12.2f %9.2fx\n",
+			name,
+			float64(fused.Nanoseconds())/1e3,
+			float64(perSeq.Nanoseconds())/1e3,
+			float64(perSeq)/float64(fused))
+		if pk, ok := k.(*kernel.ParallelKernel); ok {
+			pk.Close()
+		}
+	}
 	return nil
 }
 
 // timeKernel measures the mean MulInto latency, running at least minTime.
 func timeKernel(k kernel.Kernel, dst, x *mat.Matrix, minTime time.Duration) time.Duration {
+	return timeKernelFn(func() { k.MulInto(dst, x) }, minTime)
+}
+
+// timeKernelFn measures the mean latency of f, running at least minTime.
+func timeKernelFn(f func(), minTime time.Duration) time.Duration {
 	iters := 1
 	for {
 		start := time.Now()
 		for i := 0; i < iters; i++ {
-			k.MulInto(dst, x)
+			f()
 		}
 		elapsed := time.Since(start)
 		if elapsed >= minTime {

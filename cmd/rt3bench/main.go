@@ -30,6 +30,8 @@ func main() {
 	dim := flag.Int("kernel-dim", 192, "kernels experiment: square projection size")
 	batch := flag.Int("kernel-batch", 64, "kernels experiment: batch rows per MulInto call")
 	sparsity := flag.Float64("kernel-sparsity", 0.7, "kernels experiment: pattern sparsity")
+	seqs := flag.Int("kernel-seqs", 8, "kernels experiment batched mode: sequences fused per packed call (<=1 disables)")
+	seqLen := flag.Int("kernel-seqlen", 6, "kernels experiment batched mode: rows per sequence (default below the pattern kernel's batched-layout threshold, so the per-sequence arm runs the short-input path real per-request calls take)")
 	flag.Parse()
 
 	scale := experiments.ScaleTiny
@@ -128,6 +130,8 @@ func main() {
 			sparsity: *sparsity,
 			workers:  *workers,
 			minTime:  50 * time.Millisecond,
+			seqs:     *seqs,
+			seqLen:   *seqLen,
 		})
 	})
 

@@ -110,12 +110,31 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(report)
+	printBatchStats(eng)
 	if report.Switches == 0 {
 		log.Fatal("demo expected at least one live level switch; raise -duration or lower -battery-j")
 	}
 	if report.Dropped > 0 || report.Mismatches > 0 {
 		log.Fatalf("demo failed: %d dropped, %d incorrect", report.Dropped, report.Mismatches)
 	}
+}
+
+// printBatchStats reports the fused-GEMM accounting of batched
+// execution: every prunable projection issues one packed kernel product
+// per forward pass, so fusing a dynamic batch of n sequences into one
+// packed forward replaces n per-sequence GEMM sweeps with one.
+func printBatchStats(eng *serve.Engine) {
+	batches, seqs, rows := eng.BatchStats()
+	if batches == 0 {
+		return
+	}
+	lin := int64(eng.PrunableLinearCount())
+	fused := batches * lin
+	perSeq := seqs * lin
+	fmt.Printf("batched execution: %d fused forwards, %d sequences, %d packed rows (mean batch %.1f, mean %.1f rows/forward)\n",
+		batches, seqs, rows, float64(seqs)/float64(batches), float64(rows)/float64(batches))
+	fmt.Printf("  fused GEMMs: %d packed kernel launches vs %d sequential (%d avoided, %.1fx fewer)\n",
+		fused, perSeq, perSeq-fused, float64(perSeq)/float64(fused))
 }
 
 // buildDeployment constructs the classifier, serializes its bundle, and
@@ -203,4 +222,6 @@ func smoke(srv *serve.Server, seed int64) {
 	fmt.Print(serve.FormatLevelStats(srv.Recorder().Snapshot()))
 	n, modelMS, wallMS := srv.Recorder().Switches()
 	fmt.Printf("switches %d  modeled swap cost %.3f ms  kernel install %.3f ms\n", n, modelMS, wallMS)
+	fmt.Printf("mean batch %.1f  fill %.0f%%\n", srv.Recorder().MeanBatch(), srv.Recorder().FillRatio()*100)
+	printBatchStats(eng)
 }

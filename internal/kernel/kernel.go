@@ -18,9 +18,12 @@
 // row-partitions the batch across a reusable worker pool. Because rows
 // of dst are disjoint slices, workers never write the same memory; the
 // wrapped kernel only needs to tolerate concurrent MulInto calls on
-// disjoint destinations, which every read-only-weight kernel in this
-// repo does. A ParallelKernel itself serializes its own MulInto calls —
-// use one instance per serving replica, not one shared instance.
+// disjoint destinations, which every kernel in this repo does: weights
+// are read-only during execution, and any internal per-call scratch
+// (e.g. the pattern kernel's batched-layout buffers) is internally
+// synchronized. A ParallelKernel itself serializes its own MulInto
+// calls — use one instance per serving replica, not one shared
+// instance.
 //
 // # Registry
 //

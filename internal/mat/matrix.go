@@ -47,6 +47,18 @@ func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 // Row returns the i-th row as a slice sharing the matrix storage.
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
+// RowSpan returns rows [r0, r1) as a view sharing the matrix storage —
+// the packed-batch primitive: a per-sequence slice of a fused
+// multi-sequence matrix behaves exactly like a standalone matrix, so
+// per-sequence operations (attention blocks, pooling) on a view are
+// bit-identical to running them on a separately allocated copy.
+func (m *Matrix) RowSpan(r0, r1 int) *Matrix {
+	if r0 < 0 || r1 < r0 || r1 > m.Rows {
+		panic(fmt.Sprintf("mat: RowSpan [%d, %d) of %d rows", r0, r1, m.Rows))
+	}
+	return &Matrix{Rows: r1 - r0, Cols: m.Cols, Data: m.Data[r0*m.Cols : r1*m.Cols]}
+}
+
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
 	out := New(m.Rows, m.Cols)
@@ -103,6 +115,30 @@ func (m *Matrix) String() string {
 	return b.String()
 }
 
+// EnsureShape returns a rows x cols matrix for reusable-buffer forward
+// paths: with reuse on, *buf is returned in place, reallocated only
+// when the shape changes (e.g. a dynamic batch's packed row count
+// varies per flush); off, it always allocates fresh. Reused buffers are
+// not zeroed — callers must overwrite every element.
+func EnsureShape(buf **Matrix, reuse bool, rows, cols int) *Matrix {
+	if !reuse {
+		return New(rows, cols)
+	}
+	if *buf == nil || (*buf).Rows != rows || (*buf).Cols != cols {
+		*buf = New(rows, cols)
+	}
+	return *buf
+}
+
+// GrowFloats resizes a scratch float slice to n, reallocating only on
+// growth; contents are unspecified.
+func GrowFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // MatMul computes dst = a @ b. dst must be pre-allocated with shape
 // a.Rows x b.Cols and must not alias a or b.
 func MatMul(dst, a, b *Matrix) {
@@ -131,7 +167,23 @@ func MatMul(dst, a, b *Matrix) {
 	}
 }
 
+// matMulTile is the row-tile edge of the blocked transposed matmuls.
+// On long packed batches (ΣL rows across a fused multi-sequence batch)
+// the untiled loops re-stream one operand from memory for every row of
+// the other; tiling bounds the active working set so a tile is reused
+// from cache across the opposite tile. 32 rows x 64 cols x 8 B = 16 KiB
+// per operand tile, comfortably inside L1/L2 for the widths this repo
+// runs.
+const matMulTile = 32
+
 // MatMulT computes dst = a @ b^T, with dst pre-allocated a.Rows x b.Rows.
+//
+// The loops are tiled over the rows of a and b (the attention score path
+// runs this over per-sequence blocks of long packed batches): each b
+// tile is reused from cache across a whole a tile instead of being
+// re-streamed for every query row. Each dst element is still one full
+// contraction in ascending k order, so results are bit-identical to the
+// untiled triple loop.
 func MatMulT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: MatMulT inner dims %d != %d", a.Cols, b.Cols))
@@ -139,20 +191,41 @@ func MatMulT(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: MatMulT dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
-		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
-		for j := 0; j < b.Rows; j++ {
-			bj := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var s float64
-			for k, av := range ai {
-				s += av * bj[k]
+	for i0 := 0; i0 < a.Rows; i0 += matMulTile {
+		i1 := i0 + matMulTile
+		if i1 > a.Rows {
+			i1 = a.Rows
+		}
+		for j0 := 0; j0 < b.Rows; j0 += matMulTile {
+			j1 := j0 + matMulTile
+			if j1 > b.Rows {
+				j1 = b.Rows
 			}
-			dst.Data[i*dst.Cols+j] = s
+			for i := i0; i < i1; i++ {
+				ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+				di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+				for j := j0; j < j1; j++ {
+					bj := b.Data[j*b.Cols : (j+1)*b.Cols]
+					var s float64
+					for k, av := range ai {
+						s += av * bj[k]
+					}
+					di[j] = s
+				}
+			}
 		}
 	}
 }
 
 // MatMulTA computes dst = a^T @ b, with dst pre-allocated a.Cols x b.Cols.
+//
+// The contraction loop (over the shared rows of a and b — the ΣL packed
+// batch length on the attention gradient path) is tiled: within one row
+// tile the full dst is swept once, so dst rows and the b tile stay
+// cached instead of the whole dst being re-streamed for every batch
+// row. Tiles are processed in ascending row order and each dst element
+// accumulates its terms in ascending r order, so results are
+// bit-identical to the untiled loop.
 func MatMulTA(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("mat: MatMulTA inner dims %d != %d", a.Rows, b.Rows))
@@ -162,16 +235,22 @@ func MatMulTA(dst, a, b *Matrix) {
 	}
 	dst.Zero()
 	n := b.Cols
-	for r := 0; r < a.Rows; r++ {
-		ar := a.Data[r*a.Cols : (r+1)*a.Cols]
-		br := b.Data[r*n : (r+1)*n]
-		for i, av := range ar {
-			if av == 0 {
-				continue
-			}
+	for r0 := 0; r0 < a.Rows; r0 += matMulTile {
+		r1 := r0 + matMulTile
+		if r1 > a.Rows {
+			r1 = a.Rows
+		}
+		for i := 0; i < a.Cols; i++ {
 			di := dst.Data[i*n : (i+1)*n]
-			for j, bv := range br {
-				di[j] += av * bv
+			for r := r0; r < r1; r++ {
+				av := a.Data[r*a.Cols+i]
+				if av == 0 {
+					continue
+				}
+				br := b.Data[r*n : (r+1)*n]
+				for j, bv := range br {
+					di[j] += av * bv
+				}
 			}
 		}
 	}

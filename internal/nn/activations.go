@@ -38,6 +38,9 @@ func (r *ReLU) Backward(dy *mat.Matrix) *mat.Matrix {
 // matching the activation used in BERT-family models.
 type GELU struct {
 	x *mat.Matrix
+
+	out   *mat.Matrix
+	reuse bool
 }
 
 // Params implements Module (GELU has none).
@@ -48,10 +51,22 @@ const (
 	geluC3 = 0.044715
 )
 
+// SetBufferReuse toggles preallocated output and input-cache buffers
+// (see Linear.SetBufferReuse for the aliasing contract).
+func (g *GELU) SetBufferReuse(on bool) {
+	g.reuse = on
+	if !on {
+		g.out = nil
+		g.x = nil
+	}
+}
+
 // Forward applies gelu(x) = 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715 x^3))).
 func (g *GELU) Forward(x *mat.Matrix) *mat.Matrix {
-	g.x = x.Clone()
-	y := mat.New(x.Rows, x.Cols)
+	xc := mat.EnsureShape(&g.x, g.reuse, x.Rows, x.Cols)
+	xc.CopyFrom(x)
+	g.x = xc
+	y := mat.EnsureShape(&g.out, g.reuse, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		y.Data[i] = 0.5 * v * (1 + math.Tanh(geluC*(v+geluC3*v*v*v)))
 	}
@@ -81,6 +96,9 @@ type LayerNorm struct {
 
 	xhat   *mat.Matrix
 	invStd []float64
+
+	out   *mat.Matrix
+	reuse bool
 }
 
 // NewLayerNorm creates a LayerNorm over dim features (gamma=1, beta=0).
@@ -98,11 +116,22 @@ func NewLayerNorm(name string, dim int) *LayerNorm {
 // Params implements Module.
 func (ln *LayerNorm) Params() []*Parameter { return []*Parameter{ln.Gamma, ln.Beta} }
 
+// SetBufferReuse toggles preallocated output and normalization-cache
+// buffers (see Linear.SetBufferReuse for the aliasing contract).
+func (ln *LayerNorm) SetBufferReuse(on bool) {
+	ln.reuse = on
+	if !on {
+		ln.out = nil
+		ln.xhat = nil
+		ln.invStd = nil
+	}
+}
+
 // Forward normalizes each row of x.
 func (ln *LayerNorm) Forward(x *mat.Matrix) *mat.Matrix {
-	y := mat.New(x.Rows, x.Cols)
-	ln.xhat = mat.New(x.Rows, x.Cols)
-	ln.invStd = make([]float64, x.Rows)
+	y := mat.EnsureShape(&ln.out, ln.reuse, x.Rows, x.Cols)
+	ln.xhat = mat.EnsureShape(&ln.xhat, ln.reuse, x.Rows, x.Cols)
+	ln.invStd = reusableFloats(&ln.invStd, ln.reuse, x.Rows)
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		mean := mat.Mean(row)

@@ -1,0 +1,14 @@
+package nn
+
+import "rt3/internal/mat"
+
+// reusableFloats resizes a scratch float slice, reallocating on growth
+// only when reuse is on (the slice analogue of mat.EnsureShape;
+// contents are unspecified).
+func reusableFloats(buf *[]float64, reuse bool, n int) []float64 {
+	if !reuse {
+		return make([]float64, n)
+	}
+	*buf = mat.GrowFloats(*buf, n)
+	return *buf
+}

@@ -141,6 +141,9 @@ type Embedding struct {
 	W          *Parameter
 
 	ids []int
+
+	out   *mat.Matrix
+	reuse bool
 }
 
 // NewEmbedding creates an embedding table with small random init.
@@ -153,10 +156,19 @@ func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
 // Params implements Module.
 func (e *Embedding) Params() []*Parameter { return []*Parameter{e.W} }
 
+// SetBufferReuse toggles the preallocated gather buffer (see
+// Linear.SetBufferReuse for the aliasing contract).
+func (e *Embedding) SetBufferReuse(on bool) {
+	e.reuse = on
+	if !on {
+		e.out = nil
+	}
+}
+
 // Forward gathers rows for ids into a len(ids) x Dim matrix.
 func (e *Embedding) Forward(ids []int) *mat.Matrix {
 	e.ids = ids
-	out := mat.New(len(ids), e.Dim)
+	out := mat.EnsureShape(&e.out, e.reuse, len(ids), e.Dim)
 	for i, id := range ids {
 		if id < 0 || id >= e.Vocab {
 			panic(fmt.Sprintf("nn: Embedding id %d out of vocab %d", id, e.Vocab))

@@ -23,12 +23,19 @@ import (
 	"rt3/internal/rtswitch"
 )
 
-// Model is the inference surface the engine executes: one token sequence
-// in, one output matrix out, with the prunable projection layers exposed
-// so packed kernels can be installed and activation buffers preallocated.
-// Both transformer.Classifier and transformer.LMModel satisfy it.
+// Model is the inference surface the engine executes, with the prunable
+// projection layers exposed so packed kernels can be installed and
+// activation buffers preallocated. Both transformer.Classifier and
+// transformer.LMModel satisfy it.
 type Model interface {
+	// Forward runs one sequence (a one-sequence shim over ForwardBatch).
 	Forward(ids []int) *mat.Matrix
+	// ForwardBatch runs a whole dynamic batch as one packed forward pass
+	// — per layer, one fused kernel product over all ΣL packed rows —
+	// returning one output per sequence, each bit-identical to Forward on
+	// that sequence alone. The returned matrices may be views into
+	// reusable packed buffers; the engine copies them at its boundary.
+	ForwardBatch(seqs [][]int) []*mat.Matrix
 	PrunableLinears() []*nn.Linear
 	// SetBufferReuse toggles preallocated activation buffers; the engine
 	// turns it on so steady-state forward passes skip per-layer output
@@ -88,7 +95,27 @@ type Engine struct {
 	// level mirrors recon.Current() for lock-free reads: monitoring code
 	// may call Level concurrently with a switch.
 	level atomic.Int32
+
+	// batched-execution counters (atomic: workers update them
+	// concurrently, monitoring reads them live).
+	batchCount atomic.Int64 // ForwardBatch calls (fused forward passes)
+	batchSeqs  atomic.Int64 // sequences executed through ForwardBatch
+	batchRows  atomic.Int64 // packed rows (ΣL) executed through ForwardBatch
 }
+
+// BatchStats reports cumulative batched execution: fused forward passes,
+// sequences served through them, and total packed rows. Because every
+// prunable projection issues one kernel product per forward pass, a
+// fused pass over n sequences replaces n-1 per-sequence GEMM sweeps —
+// the fused-GEMM saving surfaced by cmd/rt3serve.
+func (e *Engine) BatchStats() (batches, seqs, rows int64) {
+	return e.batchCount.Load(), e.batchSeqs.Load(), e.batchRows.Load()
+}
+
+// PrunableLinearCount returns the number of packed kernel products one
+// forward pass issues (the prunable projections; the dense output head
+// is excluded).
+func (e *Engine) PrunableLinearCount() int { return len(e.weights) }
 
 // NewEngine deploys a bundle onto the given model replicas with the
 // default configuration (pattern-packed kernels, no intra-kernel
@@ -141,8 +168,11 @@ func NewEngineConfigured(bundle *deploy.Bundle, replicas []Model, costs rtswitch
 		}
 		r.SetBufferReuse(true)
 	}
-	// pack each (level, layer) once — the storage is read-only and shared
-	// — then wrap per replica, because kernel.Parallel wrappers carry
+	// pack each (level, layer) once and share across replicas: packed
+	// weights are read-only, and any internal per-call scratch a format
+	// keeps (e.g. the Pattern kernel's batched-layout free list) must be
+	// internally synchronized for concurrent MulInto calls. Then wrap per
+	// replica, because kernel.Parallel wrappers carry unsynchronized
 	// per-call state and must not be shared across concurrent callers.
 	packed := make([][]kernel.Kernel, len(bundle.Sets))
 	for lvl, set := range bundle.Sets {
@@ -244,6 +274,29 @@ func (e *Engine) SwitchStats() (int, float64) { return e.recon.Stats() }
 // activation buffers, so the engine copies the output at the boundary.
 func (e *Engine) Forward(replica int, ids []int) *mat.Matrix {
 	return e.replicas[replica].Forward(ids).Clone()
+}
+
+// ForwardBatch runs a whole dynamic batch as one packed forward pass on
+// the given replica at the active level: per layer, one fused kernel
+// product over all packed rows instead of one sweep per sequence. The
+// returned matrices (one per sequence, order preserved) are the
+// caller's to keep — outputs are copied at the engine boundary, exactly
+// like Forward. Each output is bit-identical to Forward on that
+// sequence alone.
+func (e *Engine) ForwardBatch(replica int, seqs [][]int) []*mat.Matrix {
+	outs := e.replicas[replica].ForwardBatch(seqs)
+	rows := 0
+	for _, ids := range seqs {
+		rows += len(ids)
+	}
+	e.batchCount.Add(1)
+	e.batchSeqs.Add(int64(len(seqs)))
+	e.batchRows.Add(int64(rows))
+	cloned := make([]*mat.Matrix, len(outs))
+	for i, o := range outs {
+		cloned[i] = o.Clone()
+	}
+	return cloned
 }
 
 // DenseForward runs one inference on replica 0 with level idx's mask

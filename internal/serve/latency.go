@@ -11,7 +11,10 @@ import (
 // recentWindow bounds the sliding latency sample fed to the policy.
 const recentWindow = 256
 
-// LevelStats summarizes completed requests at one V/F level.
+// LevelStats summarizes completed requests at one V/F level. Total
+// latency (queue wait + execution) feeds the quantiles; the queue-wait
+// and execution components are additionally tracked separately so
+// batching delay and kernel time are observable on their own.
 type LevelStats struct {
 	Level  string
 	Count  int
@@ -19,20 +22,29 @@ type LevelStats struct {
 	P50MS  float64
 	P95MS  float64
 	P99MS  float64
+	// MeanQueueMS is mean admission-to-dispatch wait (the dynamic
+	// batcher's cost); MeanExecMS is mean packed-forward execution time.
+	// MeanMS = MeanQueueMS + MeanExecMS.
+	MeanQueueMS float64
+	MeanExecMS  float64
 }
 
-// Recorder accumulates serving observations: per-level request latencies,
-// batch sizes, queue drops, and reconfiguration events. All methods are
-// safe for concurrent use.
+// Recorder accumulates serving observations: per-level request latencies
+// (queue wait and execution recorded separately), batch sizes and fill
+// ratios, queue drops, and reconfiguration events. All methods are safe
+// for concurrent use.
 type Recorder struct {
 	mu         sync.Mutex
 	levelNames []string
-	perLevel   [][]float64 // total (queue + service) latency ms
+	perLevel   [][]float64 // total (queue + execution) latency ms
+	queueSum   []float64   // per-level queue-wait sums
+	execSum    []float64   // per-level execution sums
 	recent     []float64   // sliding window across levels
 	recentPos  int
 
 	batches       int
 	batchRequests int
+	batchCapacity int // sum of MaxBatch across dispatched batches
 	drops         int
 
 	switches      int
@@ -45,14 +57,21 @@ func NewRecorder(levelNames []string) *Recorder {
 	return &Recorder{
 		levelNames: levelNames,
 		perLevel:   make([][]float64, len(levelNames)),
+		queueSum:   make([]float64, len(levelNames)),
+		execSum:    make([]float64, len(levelNames)),
 	}
 }
 
-// Observe records one completed request at the given level.
-func (r *Recorder) Observe(level int, totalMS float64) {
+// Observe records one completed request at the given level: queueMS is
+// the admission-to-dispatch wait, execMS the packed-forward execution
+// time it rode in. Their sum enters the latency quantiles.
+func (r *Recorder) Observe(level int, queueMS, execMS float64) {
+	totalMS := queueMS + execMS
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.perLevel[level] = append(r.perLevel[level], totalMS)
+	r.queueSum[level] += queueMS
+	r.execSum[level] += execMS
 	if len(r.recent) < recentWindow {
 		r.recent = append(r.recent, totalMS)
 	} else {
@@ -61,12 +80,14 @@ func (r *Recorder) Observe(level int, totalMS float64) {
 	}
 }
 
-// ObserveBatch records one dispatched batch of n requests.
-func (r *Recorder) ObserveBatch(n int) {
+// ObserveBatch records one dispatched batch of n requests against the
+// configured maximum batch size (the fill denominator).
+func (r *Recorder) ObserveBatch(n, maxBatch int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.batches++
 	r.batchRequests += n
+	r.batchCapacity += maxBatch
 }
 
 // ObserveDrop records one request rejected at admission.
@@ -117,6 +138,21 @@ func (r *Recorder) MeanBatch() float64 {
 	return float64(r.batchRequests) / float64(r.batches)
 }
 
+// FillRatio returns dispatched requests over dispatched batch capacity
+// (mean batch size / MaxBatch), in [0, 1]; 0 when nothing dispatched.
+// Low fill means deadline flushes dominate: the packed forwards run
+// shorter than the configured fusion width, so padding/fragmentation
+// waste — capacity the batcher reserved but never filled — is visible
+// directly instead of hiding inside the latency numbers.
+func (r *Recorder) FillRatio() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.batchCapacity == 0 {
+		return 0
+	}
+	return float64(r.batchRequests) / float64(r.batchCapacity)
+}
+
 // Snapshot returns per-level latency digests for levels that served at
 // least one request, bundle order.
 func (r *Recorder) Snapshot() []LevelStats {
@@ -132,12 +168,14 @@ func (r *Recorder) Snapshot() []LevelStats {
 			sum += v
 		}
 		out = append(out, LevelStats{
-			Level:  r.levelNames[i],
-			Count:  len(lat),
-			MeanMS: sum / float64(len(lat)),
-			P50MS:  metrics.Quantile(lat, 0.50),
-			P95MS:  metrics.Quantile(lat, 0.95),
-			P99MS:  metrics.Quantile(lat, 0.99),
+			Level:       r.levelNames[i],
+			Count:       len(lat),
+			MeanMS:      sum / float64(len(lat)),
+			P50MS:       metrics.Quantile(lat, 0.50),
+			P95MS:       metrics.Quantile(lat, 0.95),
+			P99MS:       metrics.Quantile(lat, 0.99),
+			MeanQueueMS: r.queueSum[i] / float64(len(lat)),
+			MeanExecMS:  r.execSum[i] / float64(len(lat)),
 		})
 	}
 	return out
@@ -146,10 +184,11 @@ func (r *Recorder) Snapshot() []LevelStats {
 // FormatLevelStats renders the per-level digest as an aligned table.
 func FormatLevelStats(stats []LevelStats) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-6s %8s %10s %10s %10s %10s\n", "level", "requests", "mean_ms", "p50_ms", "p95_ms", "p99_ms")
+	fmt.Fprintf(&b, "%-6s %8s %10s %10s %10s %10s %10s %10s\n",
+		"level", "requests", "mean_ms", "queue_ms", "exec_ms", "p50_ms", "p95_ms", "p99_ms")
 	for _, s := range stats {
-		fmt.Fprintf(&b, "%-6s %8d %10.3f %10.3f %10.3f %10.3f\n",
-			s.Level, s.Count, s.MeanMS, s.P50MS, s.P95MS, s.P99MS)
+		fmt.Fprintf(&b, "%-6s %8d %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			s.Level, s.Count, s.MeanMS, s.MeanQueueMS, s.MeanExecMS, s.P50MS, s.P95MS, s.P99MS)
 	}
 	return b.String()
 }

@@ -64,7 +64,11 @@ type LoadReport struct {
 
 	ThroughputRPS float64
 	MeanBatch     float64
-	Levels        []LevelStats
+	// FillRatio is dispatched requests over dispatched batch capacity
+	// (MeanBatch / MaxBatch): how much of the configured fusion width the
+	// traffic actually used.
+	FillRatio float64
+	Levels    []LevelStats
 
 	Switches      int
 	SwitchModelMS float64 // modeled pattern-swap cost, cumulative
@@ -79,8 +83,8 @@ type LoadReport struct {
 // String renders the report in the repo's table style.
 func (r *LoadReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "offered %d  completed %d  dropped %d  in %.2fs  (%.1f req/s, mean batch %.1f)\n",
-		r.Offered, r.Completed, r.Dropped, r.Elapsed.Seconds(), r.ThroughputRPS, r.MeanBatch)
+	fmt.Fprintf(&b, "offered %d  completed %d  dropped %d  in %.2fs  (%.1f req/s, mean batch %.1f, fill %.0f%%)\n",
+		r.Offered, r.Completed, r.Dropped, r.Elapsed.Seconds(), r.ThroughputRPS, r.MeanBatch, r.FillRatio*100)
 	b.WriteString(FormatLevelStats(r.Levels))
 	fmt.Fprintf(&b, "switches %d  modeled swap cost %.3f ms  kernel install %.3f ms\n",
 		r.Switches, r.SwitchModelMS, r.SwitchWallMS)
@@ -152,6 +156,7 @@ func RunLoad(s *Server, spec LoadSpec) (*LoadReport, error) {
 	report.Completed = len(responses)
 	report.ThroughputRPS = float64(report.Completed) / report.Elapsed.Seconds()
 	report.MeanBatch = s.Recorder().MeanBatch()
+	report.FillRatio = s.Recorder().FillRatio()
 	report.Levels = s.Recorder().Snapshot()
 	report.Switches, report.SwitchModelMS, report.SwitchWallMS = s.Recorder().Switches()
 	report.BatteryFraction = s.BatteryFraction()

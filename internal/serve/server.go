@@ -12,8 +12,9 @@ import (
 
 // Admission and lifecycle errors.
 var (
-	ErrQueueFull = errors.New("serve: request queue full")
-	ErrStopped   = errors.New("serve: server stopped")
+	ErrQueueFull    = errors.New("serve: request queue full")
+	ErrStopped      = errors.New("serve: server stopped")
+	ErrEmptyRequest = errors.New("serve: empty token sequence")
 )
 
 // Config tunes the server. Zero values pick the documented defaults.
@@ -78,9 +79,12 @@ type Response struct {
 	Out *mat.Matrix
 	// Level is the V/F level index the request executed at.
 	Level int
-	// QueueMS is time from admission to batch dispatch; TotalMS is time
-	// from admission to completion.
-	QueueMS, TotalMS float64
+	// QueueMS is time from admission to batch dispatch — the dynamic
+	// batcher's wait, per request. ExecMS is the packed forward pass's
+	// execution time, shared by every request in the batch (the batch
+	// runs as one fused forward). TotalMS = QueueMS + ExecMS, admission
+	// to completion.
+	QueueMS, ExecMS, TotalMS float64
 	// BatchSize is the size of the batch the request rode in.
 	BatchSize int
 }
@@ -177,8 +181,13 @@ func (s *Server) Start() {
 
 // Submit admits one request and returns the channel its response will
 // arrive on (buffered; exactly one send). It fails fast with
-// ErrQueueFull when the queue is at capacity and ErrStopped after Stop.
+// ErrEmptyRequest for a zero-length sequence (the packed batch forward
+// has no representation for it), ErrQueueFull when the queue is at
+// capacity, and ErrStopped after Stop.
 func (s *Server) Submit(ids []int) (<-chan Response, error) {
+	if len(ids) == 0 {
+		return nil, ErrEmptyRequest
+	}
 	s.stateMu.RLock()
 	defer s.stateMu.RUnlock()
 	if s.stopped {
@@ -287,7 +296,7 @@ func (s *Server) batcher() {
 		if len(batch) == 0 {
 			return
 		}
-		s.rec.ObserveBatch(len(batch))
+		s.rec.ObserveBatch(len(batch), s.cfg.MaxBatch)
 		s.batches <- batch
 		batch = nil
 	}
@@ -317,28 +326,36 @@ func (s *Server) batcher() {
 	}
 }
 
-// worker executes batches on its private model replica. The read lock
-// spans the whole batch so a reconfiguration can only happen between
-// batches — requests within one batch all run at one level.
+// worker executes batches on its private model replica, dispatching the
+// whole dynamic batch as one packed forward pass through
+// Engine.ForwardBatch and splitting the outputs back per request. The
+// read lock spans the whole batch so a reconfiguration can only happen
+// between batches — requests within one batch all run at one level.
 func (s *Server) worker(replica int) {
 	defer s.wg.Done()
+	var ids [][]int
 	for batch := range s.batches {
 		s.execMu.RLock()
 		level := s.eng.Level()
-		dispatch := time.Now()
+		ids = ids[:0]
 		for _, r := range batch {
-			out := s.eng.Forward(replica, r.ids)
-			now := time.Now()
-			totalMS := float64(now.Sub(r.enq).Microseconds()) / 1000
+			ids = append(ids, r.ids)
+		}
+		dispatch := time.Now()
+		outs := s.eng.ForwardBatch(replica, ids)
+		done := time.Now()
+		execMS := float64(done.Sub(dispatch).Microseconds()) / 1000
+		for i, r := range batch {
 			queueMS := float64(dispatch.Sub(r.enq).Microseconds()) / 1000
 			r.resp <- Response{
-				Out:       out,
+				Out:       outs[i],
 				Level:     level,
 				QueueMS:   queueMS,
-				TotalMS:   totalMS,
+				ExecMS:    execMS,
+				TotalMS:   queueMS + execMS,
 				BatchSize: len(batch),
 			}
-			s.rec.Observe(level, totalMS)
+			s.rec.Observe(level, queueMS, execMS)
 			s.drainEnergy(level)
 		}
 		s.execMu.RUnlock()

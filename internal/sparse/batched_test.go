@@ -1,0 +1,110 @@
+package sparse_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rt3/internal/mat"
+	"rt3/internal/pattern"
+	"rt3/internal/sparse"
+)
+
+// packedFixture builds a pattern-packed kernel over random masked
+// weights, including edge tiles (dims not multiples of psize).
+func packedFixture(t testing.TB, rows, cols int, seed int64) *sparse.Pattern {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w := mat.New(rows, cols)
+	w.Randomize(rng, 1)
+	set := pattern.GenerateSet(w, 4, 0.5, 3, rng)
+	p, err := sparse.PackSet(w, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPatternBatchedLayoutBitIdentical pins the invariant the fused
+// batched forward rests on: for any batch the batch-contiguous layout
+// (rows >= threshold) computes exactly what the row-outer layout
+// computes — checked by comparing each wide batch against row-by-row
+// execution of the same kernel, which always takes the short path.
+func TestPatternBatchedLayoutBitIdentical(t *testing.T) {
+	for _, dims := range [][2]int{{16, 16}, {18, 14}, {8, 24}} {
+		p := packedFixture(t, dims[0], dims[1], int64(81+dims[0]))
+		rng := rand.New(rand.NewSource(83))
+		for _, batch := range []int{8, 9, 16, 33, 80} {
+			x := mat.New(batch, dims[0])
+			x.Randomize(rng, 1)
+			got := mat.New(batch, dims[1])
+			p.MulInto(got, x)
+			want := mat.New(batch, dims[1])
+			for b := 0; b < batch; b++ {
+				p.MulInto(want.RowSpan(b, b+1), x.RowSpan(b, b+1))
+			}
+			if !mat.Equal(got, want, 0) {
+				t.Fatalf("%dx%d batch %d: batched layout differs from row-outer layout",
+					dims[0], dims[1], batch)
+			}
+		}
+	}
+}
+
+// TestPatternBatchedZeroAllocs: the fast path's scratch free list must
+// keep wide MulInto calls allocation-free in steady state, including
+// when batch sizes alternate (dynamic batches vary per flush).
+func TestPatternBatchedZeroAllocs(t *testing.T) {
+	p := packedFixture(t, 16, 16, 87)
+	rng := rand.New(rand.NewSource(88))
+	x8 := mat.New(8, 16)
+	x8.Randomize(rng, 1)
+	x32 := mat.New(32, 16)
+	x32.Randomize(rng, 1)
+	dst8 := mat.New(8, 16)
+	dst32 := mat.New(32, 16)
+	p.MulInto(dst32, x32) // grow scratch to the largest batch
+	if allocs := testing.AllocsPerRun(50, func() {
+		p.MulInto(dst8, x8)
+		p.MulInto(dst32, x32)
+	}); allocs != 0 {
+		t.Fatalf("%v allocs per batched MulInto pair, want 0", allocs)
+	}
+}
+
+// TestPatternBatchedConcurrent: serving replicas share one packed
+// Pattern; concurrent wide MulInto calls must each get private scratch.
+// Run under -race in CI.
+func TestPatternBatchedConcurrent(t *testing.T) {
+	p := packedFixture(t, 16, 16, 89)
+	rng := rand.New(rand.NewSource(90))
+	const goroutines = 4
+	xs := make([]*mat.Matrix, goroutines)
+	refs := make([]*mat.Matrix, goroutines)
+	for g := range xs {
+		xs[g] = mat.New(8+4*g, 16)
+		xs[g].Randomize(rng, 1)
+		refs[g] = mat.New(xs[g].Rows, 16)
+		p.MulInto(refs[g], xs[g])
+	}
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			dst := mat.New(xs[g].Rows, 16)
+			for i := 0; i < 50; i++ {
+				p.MulInto(dst, xs[g])
+				if !mat.Equal(dst, refs[g], 0) {
+					errc <- fmt.Errorf("goroutine %d iteration %d: output corrupted", g, i)
+					return
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

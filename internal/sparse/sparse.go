@@ -14,6 +14,7 @@ package sparse
 
 import (
 	"fmt"
+	"sync"
 
 	"rt3/internal/mat"
 )
@@ -279,6 +280,45 @@ type Pattern struct {
 	Dict [][][2]int8
 	// Tiles in row-major tile order.
 	Tiles []patternTile
+
+	// scratch is a free list of transposed execution buffers for the
+	// batched fast path, guarded by mu: concurrent MulInto calls (serving
+	// replicas share one packed Pattern read-only) each pop their own
+	// buffers, so steady-state execution stays allocation-free without
+	// sharing mutable state across goroutines.
+	mu      sync.Mutex
+	scratch []*patternScratch
+}
+
+// patternScratch holds one caller's transposed x and dst buffers.
+type patternScratch struct {
+	xt, yt []float64
+}
+
+// patternBatchedMinRows is the batch-row threshold above which MulInto
+// switches to the batch-contiguous layout: below it the transpose
+// overhead outweighs the contiguous inner loop, and short inputs stay on
+// the row-outer path.
+const patternBatchedMinRows = 8
+
+// getScratch pops a scratch buffer set (or makes an empty one).
+func (p *Pattern) getScratch() *patternScratch {
+	p.mu.Lock()
+	if n := len(p.scratch); n > 0 {
+		s := p.scratch[n-1]
+		p.scratch = p.scratch[:n-1]
+		p.mu.Unlock()
+		return s
+	}
+	p.mu.Unlock()
+	return &patternScratch{}
+}
+
+// putScratch returns a scratch buffer set to the free list.
+func (p *Pattern) putScratch(s *patternScratch) {
+	p.mu.Lock()
+	p.scratch = append(p.scratch, s)
+	p.mu.Unlock()
 }
 
 type patternTile struct {
@@ -364,11 +404,31 @@ func (p *Pattern) IndexWords() int {
 }
 
 // MulInto computes dst = X @ W for X batch x Rows into the pre-allocated
-// batch x Cols destination, allocation-free. Interior tiles run a
-// bounds-check-free inner loop; edge tiles (when Rows or Cols is not a
-// multiple of PSize) keep the per-element clipping.
+// batch x Cols destination, allocation-free in steady state.
+//
+// Two execution layouts produce bit-identical results:
+//
+//   - Short inputs run row-outer: for each batch row, walk every tile's
+//     nonzeros. Interior tiles run a bounds-check-free inner loop; edge
+//     tiles (when Rows or Cols is not a multiple of PSize) keep the
+//     per-element clipping.
+//   - Batches of patternBatchedMinRows rows or more (a fused packed
+//     multi-sequence forward) run batch-contiguous: x and dst are
+//     transposed into reusable scratch so the batch dimension becomes
+//     the contiguous inner loop. Each nonzero is decoded once per call
+//     instead of once per row, the packed weight stream is read once per
+//     call instead of once per row, and the inner loop is a contiguous
+//     AXPY over the whole batch — the single-core win that makes fusing
+//     a dynamic batch into one forward pay off.
+//
+// Per destination element both layouts apply the same contributions in
+// the same (tile, nonzero) order, so the choice is invisible to callers.
 func (p *Pattern) MulInto(dst, x *mat.Matrix) {
 	checkMulShapes("Pattern", dst, x, p.Rows, p.Cols)
+	if x.Rows >= patternBatchedMinRows {
+		p.mulIntoBatched(dst, x)
+		return
+	}
 	dst.Zero()
 	for bi := 0; bi < x.Rows; bi++ {
 		xr := x.Row(bi)
@@ -396,6 +456,52 @@ func (p *Pattern) MulInto(dst, x *mat.Matrix) {
 					yr[c] += xr[r] * v
 				}
 			}
+		}
+	}
+}
+
+// mulIntoBatched is the batch-contiguous layout (see MulInto).
+func (p *Pattern) mulIntoBatched(dst, x *mat.Matrix) {
+	rows := x.Rows
+	s := p.getScratch()
+	defer p.putScratch(s)
+	s.xt = mat.GrowFloats(s.xt, p.Rows*rows)
+	s.yt = mat.GrowFloats(s.yt, p.Cols*rows)
+	xt, yt := s.xt, s.yt
+
+	for b := 0; b < rows; b++ {
+		for r, v := range x.Row(b) {
+			xt[r*rows+b] = v
+		}
+	}
+	for i := range yt {
+		yt[i] = 0
+	}
+
+	for ti := range p.Tiles {
+		t := &p.Tiles[ti]
+		offs := p.Dict[t.id]
+		for k, v := range t.vals {
+			if v == 0 {
+				continue
+			}
+			r := t.r0 + int(offs[k][0])
+			c := t.c0 + int(offs[k][1])
+			if !t.interior && (r >= p.Rows || c >= p.Cols) {
+				continue
+			}
+			xr := xt[r*rows : r*rows+rows]
+			yr := yt[c*rows : c*rows+rows]
+			for b, xv := range xr {
+				yr[b] += xv * v
+			}
+		}
+	}
+
+	for b := 0; b < rows; b++ {
+		dr := dst.Row(b)
+		for c := range dr {
+			dr[c] = yt[c*rows+b]
 		}
 	}
 }

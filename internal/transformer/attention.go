@@ -3,9 +3,18 @@
 // encoder and one decoder layers on WikiText-2) and a DistilBERT-like
 // six-encoder classifier/regressor for GLUE-style tasks.
 //
-// All layers carry hand-written backward passes over the nn substrate;
-// a model processes one sequence (seq x d_model matrix) at a time and
-// mini-batching is done by gradient accumulation across sequences.
+// All layers carry hand-written backward passes over the nn substrate.
+// The forward stack is batch-first: every layer operates on a packed
+// (ΣLᵢ x d_model) matrix holding any number of concatenated sequences
+// plus a per-sequence offsets table, with attention masked
+// block-diagonally (optionally causal) so no sequence attends across
+// batch boundaries. Each nn.Linear therefore issues one fused kernel
+// product over all ΣL rows per layer — the serving path's throughput
+// lever — while the single-sequence Forward methods remain as
+// one-sequence shims over the packed path, bit-identical to running
+// each sequence alone. Mini-batch training still accumulates gradients
+// across calls; the batched backward decomposes per sequence over the
+// same offsets.
 package transformer
 
 import (
@@ -18,20 +27,24 @@ import (
 )
 
 // MultiHeadAttention implements scaled dot-product attention with H
-// heads. It supports self-attention (q == kv) and cross-attention
-// (decoder queries over encoder memory) plus an optional causal mask.
+// heads over packed multi-sequence batches. It supports self-attention
+// (q == kv) and cross-attention (decoder queries over encoder memory)
+// plus an optional per-sequence causal mask.
 type MultiHeadAttention struct {
 	Dim, Heads int
 	HeadDim    int
 
 	WQ, WK, WV, WO *nn.Linear
 
-	// forward caches (per head)
-	q, k, v *mat.Matrix
-	attn    []*mat.Matrix // softmax scores, one seqQ x seqK matrix per head
-	causal  bool
-	seqQ    int
-	seqK    int
+	// forward caches for the backward pass
+	q, k, v     *mat.Matrix
+	attn        []*mat.Matrix // softmax scores, one Lqᵢ x Lkᵢ block per (head, sequence)
+	qOff, kvOff []int
+	causal      bool
+
+	// reusable forward scratch (active when reuse is on)
+	reuse                  bool
+	qh, kh, vh, oh, concat *mat.Matrix
 }
 
 // NewMultiHeadAttention creates an H-head attention block over dim
@@ -60,91 +73,166 @@ func (a *MultiHeadAttention) PrunableLinears() []*nn.Linear {
 	return []*nn.Linear{a.WQ, a.WK, a.WV, a.WO}
 }
 
-// Forward computes attention of queries (seqQ x dim) over keys/values
-// (seqK x dim). Pass q == kv for self-attention. When causal is true,
-// position i may only attend to positions <= i (requires seqQ == seqK).
-func (a *MultiHeadAttention) Forward(q, kv *mat.Matrix, causal bool) *mat.Matrix {
-	a.causal = causal
-	a.seqQ, a.seqK = q.Rows, kv.Rows
-	if causal && q.Rows != kv.Rows {
-		panic("transformer: causal attention requires seqQ == seqK")
+// SetBufferReuse toggles preallocated projection and head-scratch
+// buffers on the whole block (see nn.Linear.SetBufferReuse for the
+// aliasing contract).
+func (a *MultiHeadAttention) SetBufferReuse(on bool) {
+	a.WQ.SetBufferReuse(on)
+	a.WK.SetBufferReuse(on)
+	a.WV.SetBufferReuse(on)
+	a.WO.SetBufferReuse(on)
+	a.reuse = on
+	if !on {
+		a.qh, a.kh, a.vh, a.oh, a.concat = nil, nil, nil, nil, nil
 	}
+}
+
+// Forward computes attention of queries (seqQ x dim) over keys/values
+// (seqK x dim) as a one-sequence packed batch. Pass q == kv for
+// self-attention. When causal is true, position i may only attend to
+// positions <= i (requires seqQ == seqK).
+func (a *MultiHeadAttention) Forward(q, kv *mat.Matrix, causal bool) *mat.Matrix {
+	return a.ForwardBatch(q, kv, []int{0, q.Rows}, []int{0, kv.Rows}, causal)
+}
+
+// ForwardBatch computes attention over a packed multi-sequence batch:
+// q is (ΣLq x dim) and kv is (ΣLk x dim), with qOff and kvOff the
+// per-sequence row offsets (len n+1, starting at 0 and ending at the
+// respective row counts; sequence s spans rows [off[s], off[s+1])).
+// Attention scores are block-diagonal — sequence s's queries attend
+// only to sequence s's keys — and optionally causal within each block,
+// so the result is bit-identical to running every sequence through
+// Forward alone while the four projections each execute as one fused
+// kernel product over all packed rows.
+func (a *MultiHeadAttention) ForwardBatch(q, kv *mat.Matrix, qOff, kvOff []int, causal bool) *mat.Matrix {
+	nSeq := checkOffsets("q", qOff, q.Rows)
+	if n := checkOffsets("kv", kvOff, kv.Rows); n != nSeq {
+		panic(fmt.Sprintf("transformer: %d query sequences but %d key/value sequences", nSeq, n))
+	}
+	a.causal = causal
+	a.qOff, a.kvOff = qOff, kvOff
 	a.q = a.WQ.Forward(q)
 	a.k = a.WK.Forward(kv)
 	a.v = a.WV.Forward(kv)
 
-	concat := mat.New(q.Rows, a.Dim)
-	a.attn = make([]*mat.Matrix, a.Heads)
+	concat := mat.EnsureShape(&a.concat, a.reuse, q.Rows, a.Dim)
+	qh := mat.EnsureShape(&a.qh, a.reuse, q.Rows, a.HeadDim)
+	kh := mat.EnsureShape(&a.kh, a.reuse, kv.Rows, a.HeadDim)
+	vh := mat.EnsureShape(&a.vh, a.reuse, kv.Rows, a.HeadDim)
+	oh := mat.EnsureShape(&a.oh, a.reuse, q.Rows, a.HeadDim)
+
+	// the score blocks double as the backward cache; with reuse on they
+	// are recycled shape-matched across calls (every element is
+	// rewritten: MatMulT assigns, then scale/mask/softmax), so a
+	// steady-state batch allocates no score matrices either
+	need := a.Heads * nSeq
+	switch {
+	case !a.reuse:
+		a.attn = make([]*mat.Matrix, need)
+	case cap(a.attn) >= need:
+		a.attn = a.attn[:need]
+	default:
+		grown := make([]*mat.Matrix, need)
+		copy(grown, a.attn[:cap(a.attn)])
+		a.attn = grown
+	}
 	scale := 1 / math.Sqrt(float64(a.HeadDim))
 	for h := 0; h < a.Heads; h++ {
-		qh := a.headView(a.q, h)
-		kh := a.headView(a.k, h)
-		vh := a.headView(a.v, h)
-		scores := mat.New(q.Rows, kv.Rows)
-		mat.MatMulT(scores, qh, kh)
-		scores.Scale(scale)
-		if causal {
-			for i := 0; i < scores.Rows; i++ {
-				row := scores.Row(i)
-				for j := i + 1; j < len(row); j++ {
-					row[j] = math.Inf(-1)
+		a.copyHead(qh, a.q, h)
+		a.copyHead(kh, a.k, h)
+		a.copyHead(vh, a.v, h)
+		for s := 0; s < nSeq; s++ {
+			q0, q1 := qOff[s], qOff[s+1]
+			k0, k1 := kvOff[s], kvOff[s+1]
+			if causal && q1-q0 != k1-k0 {
+				panic("transformer: causal attention requires seqQ == seqK")
+			}
+			if q0 == q1 {
+				continue
+			}
+			scores := a.attn[h*nSeq+s]
+			if scores == nil || scores.Rows != q1-q0 || scores.Cols != k1-k0 {
+				scores = mat.New(q1-q0, k1-k0)
+				a.attn[h*nSeq+s] = scores
+			}
+			mat.MatMulT(scores, qh.RowSpan(q0, q1), kh.RowSpan(k0, k1))
+			scores.Scale(scale)
+			if causal {
+				for i := 0; i < scores.Rows; i++ {
+					row := scores.Row(i)
+					for j := i + 1; j < len(row); j++ {
+						row[j] = math.Inf(-1)
+					}
 				}
 			}
+			scores.SoftmaxRows()
+			mat.MatMul(oh.RowSpan(q0, q1), scores, vh.RowSpan(k0, k1))
 		}
-		scores.SoftmaxRows()
-		a.attn[h] = scores
-		oh := mat.New(q.Rows, a.HeadDim)
-		mat.MatMul(oh, scores, vh)
 		a.setHead(concat, oh, h)
 	}
 	return a.WO.Forward(concat)
 }
 
 // Backward propagates the upstream gradient, accumulating parameter
-// gradients, and returns (dQin, dKVin). For self-attention the caller
-// must sum both into the single input gradient.
+// gradients, and returns (dQin, dKVin) with the packed shapes of the
+// last forward call. For self-attention the caller must sum both into
+// the single input gradient. The computation decomposes per sequence
+// over the cached offsets, so it supports batched forwards too.
 func (a *MultiHeadAttention) Backward(dy *mat.Matrix) (dq, dkv *mat.Matrix) {
 	dconcat := a.WO.Backward(dy)
+	nSeq := len(a.qOff) - 1
 
-	dQ := mat.New(a.seqQ, a.Dim)
-	dK := mat.New(a.seqK, a.Dim)
-	dV := mat.New(a.seqK, a.Dim)
+	dQ := mat.New(a.q.Rows, a.Dim)
+	dK := mat.New(a.k.Rows, a.Dim)
+	dV := mat.New(a.v.Rows, a.Dim)
 	scale := 1 / math.Sqrt(float64(a.HeadDim))
 
 	for h := 0; h < a.Heads; h++ {
 		doh := a.headView(dconcat, h)
-		attn := a.attn[h]
 		vh := a.headView(a.v, h)
 		qh := a.headView(a.q, h)
 		kh := a.headView(a.k, h)
-
-		// dAttn = doh @ vh^T ; dVh = attn^T @ doh
-		dattn := mat.New(a.seqQ, a.seqK)
-		mat.MatMulT(dattn, doh, vh)
-		dvh := mat.New(a.seqK, a.HeadDim)
-		mat.MatMulTA(dvh, attn, doh)
-
-		// softmax backward: ds = attn * (dattn - rowdot(dattn, attn))
-		dscores := mat.New(a.seqQ, a.seqK)
-		for i := 0; i < a.seqQ; i++ {
-			ar := attn.Row(i)
-			dr := dattn.Row(i)
-			dot := mat.Dot(dr, ar)
-			out := dscores.Row(i)
-			for j := range out {
-				out[j] = ar[j] * (dr[j] - dot) * scale
+		for s := 0; s < nSeq; s++ {
+			q0, q1 := a.qOff[s], a.qOff[s+1]
+			k0, k1 := a.kvOff[s], a.kvOff[s+1]
+			lq, lk := q1-q0, k1-k0
+			if lq == 0 {
+				continue
 			}
+			attn := a.attn[h*nSeq+s]
+			dohs := doh.RowSpan(q0, q1)
+			vhs := vh.RowSpan(k0, k1)
+			qhs := qh.RowSpan(q0, q1)
+			khs := kh.RowSpan(k0, k1)
+
+			// dAttn = doh @ vh^T ; dVh = attn^T @ doh
+			dattn := mat.New(lq, lk)
+			mat.MatMulT(dattn, dohs, vhs)
+			dvh := mat.New(lk, a.HeadDim)
+			mat.MatMulTA(dvh, attn, dohs)
+
+			// softmax backward: ds = attn * (dattn - rowdot(dattn, attn))
+			dscores := mat.New(lq, lk)
+			for i := 0; i < lq; i++ {
+				ar := attn.Row(i)
+				dr := dattn.Row(i)
+				dot := mat.Dot(dr, ar)
+				out := dscores.Row(i)
+				for j := range out {
+					out[j] = ar[j] * (dr[j] - dot) * scale
+				}
+			}
+
+			// dQh = dscores @ kh ; dKh = dscores^T @ qh
+			dqh := mat.New(lq, a.HeadDim)
+			mat.MatMul(dqh, dscores, khs)
+			dkh := mat.New(lk, a.HeadDim)
+			mat.MatMulTA(dkh, dscores, qhs)
+
+			a.addHeadAt(dQ, dqh, h, q0)
+			a.addHeadAt(dK, dkh, h, k0)
+			a.addHeadAt(dV, dvh, h, k0)
 		}
-
-		// dQh = dscores @ kh ; dKh = dscores^T @ qh
-		dqh := mat.New(a.seqQ, a.HeadDim)
-		mat.MatMul(dqh, dscores, kh)
-		dkh := mat.New(a.seqK, a.HeadDim)
-		mat.MatMulTA(dkh, dscores, qh)
-
-		a.addHead(dQ, dqh, h)
-		a.addHead(dK, dkh, h)
-		a.addHead(dV, dvh, h)
 	}
 
 	dqin := a.WQ.Backward(dQ)
@@ -154,14 +242,20 @@ func (a *MultiHeadAttention) Backward(dy *mat.Matrix) (dq, dkv *mat.Matrix) {
 	return dqin, dkin
 }
 
-// headView copies the h-th head slice (columns [h*hd, (h+1)*hd)) of x.
+// headView copies the h-th head slice (columns [h*hd, (h+1)*hd)) of x
+// into a fresh matrix.
 func (a *MultiHeadAttention) headView(x *mat.Matrix, h int) *mat.Matrix {
-	hd := a.HeadDim
-	out := mat.New(x.Rows, hd)
-	for i := 0; i < x.Rows; i++ {
-		copy(out.Row(i), x.Row(i)[h*hd:(h+1)*hd])
-	}
+	out := mat.New(x.Rows, a.HeadDim)
+	a.copyHead(out, x, h)
 	return out
+}
+
+// copyHead copies the h-th head slice of src into the preallocated dst.
+func (a *MultiHeadAttention) copyHead(dst, src *mat.Matrix, h int) {
+	hd := a.HeadDim
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Row(i), src.Row(i)[h*hd:(h+1)*hd])
+	}
 }
 
 func (a *MultiHeadAttention) setHead(dst, src *mat.Matrix, h int) {
@@ -171,10 +265,12 @@ func (a *MultiHeadAttention) setHead(dst, src *mat.Matrix, h int) {
 	}
 }
 
-func (a *MultiHeadAttention) addHead(dst, src *mat.Matrix, h int) {
+// addHeadAt accumulates src into dst's head-h columns starting at dst
+// row r0 (the sequence's offset within the packed batch).
+func (a *MultiHeadAttention) addHeadAt(dst, src *mat.Matrix, h, r0 int) {
 	hd := a.HeadDim
 	for i := 0; i < src.Rows; i++ {
-		drow := dst.Row(i)[h*hd : (h+1)*hd]
+		drow := dst.Row(r0 + i)[h*hd : (h+1)*hd]
 		for j, v := range src.Row(i) {
 			drow[j] += v
 		}

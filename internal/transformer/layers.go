@@ -28,7 +28,16 @@ func (f *FeedForward) Params() []*nn.Parameter { return nn.CollectParams(f.L1, f
 // PrunableLinears returns the two MLP projections.
 func (f *FeedForward) PrunableLinears() []*nn.Linear { return []*nn.Linear{f.L1, f.L2} }
 
-// Forward applies the MLP to every row of x.
+// SetBufferReuse toggles preallocated activation buffers on the MLP.
+func (f *FeedForward) SetBufferReuse(on bool) {
+	f.L1.SetBufferReuse(on)
+	f.L2.SetBufferReuse(on)
+	f.Act.SetBufferReuse(on)
+}
+
+// Forward applies the MLP to every row of x — position-wise, so a
+// packed multi-sequence batch needs no offsets here and each projection
+// is one fused kernel product over all ΣL rows.
 func (f *FeedForward) Forward(x *mat.Matrix) *mat.Matrix {
 	return f.L2.Forward(f.Act.Forward(f.L1.Forward(x)))
 }
@@ -67,9 +76,26 @@ func (e *EncoderLayer) PrunableLinears() []*nn.Linear {
 	return append(e.Attn.PrunableLinears(), e.FF.PrunableLinears()...)
 }
 
-// Forward runs the block on a seq x dim input.
+// SetBufferReuse toggles preallocated activation buffers on every
+// sublayer of the block.
+func (e *EncoderLayer) SetBufferReuse(on bool) {
+	e.Attn.SetBufferReuse(on)
+	e.FF.SetBufferReuse(on)
+	e.LN1.SetBufferReuse(on)
+	e.LN2.SetBufferReuse(on)
+}
+
+// Forward runs the block on a single seq x dim sequence.
 func (e *EncoderLayer) Forward(x *mat.Matrix) *mat.Matrix {
-	a := e.Attn.Forward(x, x, false)
+	return e.ForwardBatch(x, []int{0, x.Rows})
+}
+
+// ForwardBatch runs the block on a packed multi-sequence batch (ΣL x
+// dim plus offsets): self-attention is block-diagonal per sequence
+// while the LayerNorms, residuals and MLP are position-wise over all
+// packed rows.
+func (e *EncoderLayer) ForwardBatch(x *mat.Matrix, off []int) *mat.Matrix {
+	a := e.Attn.ForwardBatch(x, x, off, off, false)
 	a.Add(x)
 	h := e.LN1.Forward(a)
 	f := e.FF.Forward(h)
@@ -123,13 +149,33 @@ func (d *DecoderLayer) PrunableLinears() []*nn.Linear {
 	return append(out, d.FF.PrunableLinears()...)
 }
 
-// Forward runs the block on x (seq x dim) attending to memory.
+// SetBufferReuse toggles preallocated activation buffers on every
+// sublayer of the block.
+func (d *DecoderLayer) SetBufferReuse(on bool) {
+	d.SelfAttn.SetBufferReuse(on)
+	d.CrossAttn.SetBufferReuse(on)
+	d.FF.SetBufferReuse(on)
+	d.LN1.SetBufferReuse(on)
+	d.LN2.SetBufferReuse(on)
+	d.LN3.SetBufferReuse(on)
+}
+
+// Forward runs the block on a single sequence x (seq x dim) attending
+// to memory.
 func (d *DecoderLayer) Forward(x, memory *mat.Matrix) *mat.Matrix {
-	a := d.SelfAttn.Forward(x, x, true)
+	return d.ForwardBatch(x, memory, []int{0, x.Rows}, []int{0, memory.Rows})
+}
+
+// ForwardBatch runs the block on a packed multi-sequence batch: causal
+// self-attention and cross-attention over the packed encoder memory are
+// both block-diagonal per sequence (xOff and memOff pair sequence s's
+// decoder rows with its memory rows).
+func (d *DecoderLayer) ForwardBatch(x, memory *mat.Matrix, xOff, memOff []int) *mat.Matrix {
+	a := d.SelfAttn.ForwardBatch(x, x, xOff, xOff, true)
 	a.Add(x)
 	h1 := d.LN1.Forward(a)
 
-	c := d.CrossAttn.Forward(h1, memory, false)
+	c := d.CrossAttn.ForwardBatch(h1, memory, xOff, memOff, false)
 	c.Add(h1)
 	h2 := d.LN2.Forward(c)
 

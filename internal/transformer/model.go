@@ -53,6 +53,13 @@ type LMModel struct {
 	Dec     []*DecoderLayer
 	Proj    *nn.Linear
 	nparams []*nn.Parameter
+
+	// packed-batch state: the offsets of the last forward (consumed by
+	// Backward) and reusable batch buffers (active when reuse is on).
+	off   []int
+	flat  []int
+	decIn *mat.Matrix
+	reuse bool
 }
 
 // NewLMModel builds the language model described by cfg.
@@ -104,17 +111,27 @@ func (m *LMModel) PrunableLinears() []*nn.Linear {
 	return out
 }
 
-// SetBufferReuse toggles preallocated activation buffers on every
-// Linear in the model, including the output projection. With reuse on,
-// each layer's Forward output is overwritten by its next call: the hot
-// serving path runs without per-request activation allocations, but a
+// SetBufferReuse toggles preallocated activation buffers through the
+// whole forward stack — every Linear (including the output projection),
+// embedding gather, LayerNorm, GELU, attention head scratch, and the
+// model-level packed-batch buffers. With reuse on, each layer's Forward
+// output is overwritten by its next call: the hot serving path runs a
+// whole packed batch without per-request activation allocations, but a
 // caller retaining model outputs across forward passes (e.g. a serving
 // engine handing responses to clients) must copy them first.
 func (m *LMModel) SetBufferReuse(on bool) {
-	for _, l := range m.PrunableLinears() {
-		l.SetBufferReuse(on)
+	m.Embed.SetBufferReuse(on)
+	for _, e := range m.Enc {
+		e.SetBufferReuse(on)
+	}
+	for _, d := range m.Dec {
+		d.SetBufferReuse(on)
 	}
 	m.Proj.SetBufferReuse(on)
+	m.reuse = on
+	if !on {
+		m.decIn = nil
+	}
 }
 
 // Clone returns an independent model with identical weights — the way a
@@ -126,29 +143,41 @@ func (m *LMModel) Clone() *LMModel {
 	return c
 }
 
-// Forward returns next-token logits (seq x vocab) for the id sequence.
+// Forward returns next-token logits (seq x vocab) for the id sequence —
+// a one-sequence shim over ForwardBatch.
 func (m *LMModel) Forward(ids []int) *mat.Matrix {
-	x := m.Embed.Forward(ids)
-	for i := range ids {
-		row := x.Row(i)
-		pe := m.Pos.Row(i % m.Pos.Rows)
-		for j := range row {
-			row[j] += pe[j]
-		}
-	}
+	return m.ForwardBatch([][]int{ids})[0]
+}
+
+// ForwardBatch runs one fused forward pass over a dynamic batch of
+// sequences and returns per-sequence next-token logits (Lᵢ x vocab).
+// All sequences are packed into one (ΣL x d_model) matrix: every Linear
+// executes as a single kernel product over all packed rows per layer,
+// and attention (causal self-attention and cross-attention in the
+// decoder) is block-diagonal per sequence, so each returned matrix is
+// bit-identical to Forward on that sequence alone.
+//
+// The returned matrices are views into the packed logits: valid until
+// the next forward pass when buffer reuse is on (the serving engine
+// copies at its boundary), and independent of each other otherwise.
+func (m *LMModel) ForwardBatch(seqs [][]int) []*mat.Matrix {
+	m.flat, m.off = packIDs(seqs, m.flat, m.off)
+	x := m.Embed.Forward(m.flat)
+	addPositional(x, m.off, m.Pos)
 	h := x
 	for _, e := range m.Enc {
-		h = e.Forward(h)
+		h = e.ForwardBatch(h, m.off)
 	}
 	memory := h
-	d := x.Clone()
-	for _, dec := range m.Dec {
-		d = dec.Forward(d, memory)
+	d := memory
+	if len(m.Dec) > 0 {
+		d = mat.EnsureShape(&m.decIn, m.reuse, x.Rows, x.Cols)
+		d.CopyFrom(x)
+		for _, dec := range m.Dec {
+			d = dec.ForwardBatch(d, memory, m.off, m.off)
+		}
 	}
-	if len(m.Dec) == 0 {
-		d = memory
-	}
-	return m.Proj.Forward(d)
+	return splitRows(m.Proj.Forward(d), m.off)
 }
 
 // Backward propagates dlogits through the whole model, accumulating
@@ -205,7 +234,12 @@ type Classifier struct {
 	Head    *nn.Linear
 	nparams []*nn.Parameter
 
-	seqLen int
+	// packed-batch state: the offsets of the last forward (consumed by
+	// Backward) and reusable batch buffers (active when reuse is on).
+	off    []int
+	flat   []int
+	pooled *mat.Matrix
+	reuse  bool
 }
 
 // NewClassifier builds the classifier/regressor described by cfg.
@@ -239,14 +273,19 @@ func (c *Classifier) PrunableLinears() []*nn.Linear {
 	return out
 }
 
-// SetBufferReuse toggles preallocated activation buffers on every
-// Linear in the model, including the classification head (see
-// LMModel.SetBufferReuse for the aliasing contract).
+// SetBufferReuse toggles preallocated activation buffers through the
+// whole forward stack, including the classification head and the pooled
+// batch buffer (see LMModel.SetBufferReuse for the aliasing contract).
 func (c *Classifier) SetBufferReuse(on bool) {
-	for _, l := range c.PrunableLinears() {
-		l.SetBufferReuse(on)
+	c.Embed.SetBufferReuse(on)
+	for _, e := range c.Enc {
+		e.SetBufferReuse(on)
 	}
 	c.Head.SetBufferReuse(on)
+	c.reuse = on
+	if !on {
+		c.pooled = nil
+	}
 }
 
 // Clone returns an independent classifier with identical weights (see
@@ -268,43 +307,69 @@ func copyParams(dst, src []*nn.Parameter) {
 	}
 }
 
-// Forward returns the 1 x Classes output for the token sequence.
+// Forward returns the 1 x Classes output for the token sequence — a
+// one-sequence shim over ForwardBatch.
 func (c *Classifier) Forward(ids []int) *mat.Matrix {
-	c.seqLen = len(ids)
-	x := c.Embed.Forward(ids)
-	for i := range ids {
-		row := x.Row(i)
-		pe := c.Pos.Row(i % c.Pos.Rows)
-		for j := range row {
-			row[j] += pe[j]
-		}
-	}
-	h := x
-	for _, e := range c.Enc {
-		h = e.Forward(h)
-	}
-	// mean pool over positions
-	pooled := mat.New(1, c.Cfg.Dim)
-	for i := 0; i < h.Rows; i++ {
-		row := h.Row(i)
-		for j, v := range row {
-			pooled.Data[j] += v
-		}
-	}
-	pooled.Scale(1 / float64(h.Rows))
-	return c.Head.Forward(pooled)
+	return c.ForwardBatch([][]int{ids})[0]
 }
 
-// Backward propagates the 1 x Classes upstream gradient.
+// ForwardBatch runs one fused forward pass over a dynamic batch of
+// sequences and returns the per-sequence 1 x Classes outputs. The
+// encoder stack executes once over the packed (ΣL x d_model) batch with
+// block-diagonal self-attention, each sequence is mean-pooled over its
+// own rows, and the classification head runs as one n x Classes
+// product; every returned row is bit-identical to Forward on that
+// sequence alone.
+//
+// The returned matrices are views into the packed head output: valid
+// until the next forward pass when buffer reuse is on (the serving
+// engine copies at its boundary), independent of each other otherwise.
+func (c *Classifier) ForwardBatch(seqs [][]int) []*mat.Matrix {
+	c.flat, c.off = packIDs(seqs, c.flat, c.off)
+	x := c.Embed.Forward(c.flat)
+	addPositional(x, c.off, c.Pos)
+	h := x
+	for _, e := range c.Enc {
+		h = e.ForwardBatch(h, c.off)
+	}
+	// mean pool each sequence over its own positions
+	pooled := mat.EnsureShape(&c.pooled, c.reuse, len(seqs), c.Cfg.Dim)
+	pooled.Zero()
+	for s := 0; s+1 < len(c.off); s++ {
+		row := pooled.Row(s)
+		for i := c.off[s]; i < c.off[s+1]; i++ {
+			for j, v := range h.Row(i) {
+				row[j] += v
+			}
+		}
+		inv := 1 / float64(c.off[s+1]-c.off[s])
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	out := c.Head.Forward(pooled)
+	views := make([]*mat.Matrix, len(seqs))
+	for s := range views {
+		views[s] = out.RowSpan(s, s+1)
+	}
+	return views
+}
+
+// Backward propagates the upstream gradient (one row per sequence of
+// the last forward pass, so 1 x Classes after Forward).
 func (c *Classifier) Backward(dout *mat.Matrix) {
 	dpool := c.Head.Backward(dout)
-	// un-pool: each position receives dpool / seqLen
-	dh := mat.New(c.seqLen, c.Cfg.Dim)
-	inv := 1 / float64(c.seqLen)
-	for i := 0; i < c.seqLen; i++ {
-		row := dh.Row(i)
-		for j := range row {
-			row[j] = dpool.Data[j] * inv
+	// un-pool: each position receives its sequence's dpool row / Lᵢ
+	rows := c.off[len(c.off)-1]
+	dh := mat.New(rows, c.Cfg.Dim)
+	for s := 0; s+1 < len(c.off); s++ {
+		inv := 1 / float64(c.off[s+1]-c.off[s])
+		dp := dpool.Row(s)
+		for i := c.off[s]; i < c.off[s+1]; i++ {
+			row := dh.Row(i)
+			for j := range row {
+				row[j] = dp[j] * inv
+			}
 		}
 	}
 	d := dh
