@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"rt3/internal/mat"
+	"rt3/internal/pattern"
+	"rt3/internal/rtswitch"
+	"rt3/internal/serve"
+	"rt3/internal/transformer"
+)
+
+// decodeBenchSpec shapes the incremental-decoding benchmark: generate
+// gen tokens after a prompt-token prefill, cached (KV caches, one fused
+// step per token) versus full recompute (decoder stack re-run over the
+// whole growing prefix per token against the frozen prompt memory).
+type decodeBenchSpec struct {
+	prompt   int
+	gen      int
+	batch    int // largest fused batch; the table sweeps {1, 4, batch}
+	sparsity float64
+}
+
+// runDecodeBench prints the cached-vs-recompute tokens/sec table on the
+// pattern format. Token streams are greedy and verified identical
+// between the two arms before timing (the decode path's bit-equivalence
+// guarantee makes them so).
+func runDecodeBench(spec decodeBenchSpec) error {
+	cfg := transformer.Config{
+		Vocab: 96, Dim: 64, Heads: 4, FFHidden: 128,
+		EncLayers: 2, DecLayers: 1, SeqLen: spec.prompt + spec.gen,
+	}
+	rng := rand.New(rand.NewSource(42))
+	model := transformer.NewLMModel(cfg, rng)
+	ref := model.PrunableLinears()[0].W.Value
+	sets := []*pattern.Set{pattern.GenerateSet(ref, 8, spec.sparsity, 4, rng)}
+	bundle := serve.BundleFromModel(model, sets, []string{"l6"})
+	replica := model.Clone()
+	eng, err := serve.NewEngineConfigured(bundle, []serve.Model{replica},
+		rtswitch.DefaultSwitchCostModel(), serve.EngineConfig{Format: "pattern"})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("incremental decoding: prompt %d, %d generated tokens, pattern sparsity %.2f, dim %d\n",
+		spec.prompt, spec.gen, spec.sparsity, cfg.Dim)
+	fmt.Printf("cached: one fused decode step per token; recompute: decoder re-run over the growing prefix\n\n")
+	fmt.Printf("%-6s %14s %14s %10s %14s\n", "batch", "cached_tok/s", "recomp_tok/s", "speedup", "cache_rows/tok")
+
+	seen := map[int]bool{}
+	var batches []int
+	for _, b := range []int{1, 4, spec.batch} {
+		if b > 0 && !seen[b] {
+			seen[b] = true
+			batches = append(batches, b)
+		}
+	}
+	sort.Ints(batches)
+	for _, batch := range batches {
+		prompts := make([][]int, batch)
+		for i := range prompts {
+			prompts[i] = make([]int, spec.prompt)
+			for j := range prompts[i] {
+				prompts[i][j] = rng.Intn(cfg.Vocab)
+			}
+		}
+
+		// one real generation seeds the caches and records the streams
+		states := make([]*transformer.DecodeState, batch)
+		for i := range states {
+			st, err := eng.NewDecodeState(0)
+			if err != nil {
+				return err
+			}
+			st.Reserve(spec.prompt + spec.gen)
+			states[i] = st
+		}
+		outs, err := eng.PrefillBatch(0, states, prompts)
+		if err != nil {
+			return err
+		}
+		tokens := make([]int, batch)
+		streams := make([][]int, batch)
+		for i := range prompts {
+			tokens[i] = outs[i].ArgmaxRow(outs[i].Rows - 1)
+			streams[i] = append(streams[i], tokens[i])
+		}
+		for s := 1; s < spec.gen; s++ {
+			logits, err := eng.DecodeBatch(0, states, tokens)
+			if err != nil {
+				return err
+			}
+			for i := range prompts {
+				tokens[i] = logits.ArgmaxRow(i)
+				streams[i] = append(streams[i], tokens[i])
+			}
+		}
+
+		// the recompute arm replays the same prefixes; verify its greedy
+		// choices reproduce the cached streams before timing
+		memory, memOff := replica.EncodeBatch(prompts)
+		prefixes := make([][][]int, spec.gen)
+		for s := 0; s < spec.gen; s++ {
+			prefixes[s] = make([][]int, batch)
+			for i := range prompts {
+				seq := append(append([]int(nil), prompts[i]...), streams[i][:s+1]...)
+				prefixes[s][i] = seq
+			}
+		}
+		for s := 0; s+1 < spec.gen; s++ {
+			refs := replica.DecodeFull(prefixes[s], memory, memOff)
+			for i := range prompts {
+				if got := refs[i].ArgmaxRow(refs[i].Rows - 1); got != streams[i][s+1] {
+					return fmt.Errorf("decode bench: recompute token %d/%d diverged from cached stream", s+1, i)
+				}
+			}
+		}
+
+		cachedOp := func() {
+			for i := range states {
+				states[i].TruncateTo(spec.prompt)
+				tokens[i] = streams[i][0]
+			}
+			for s := 1; s < spec.gen; s++ {
+				logits, _ := eng.DecodeBatch(0, states, tokens)
+				for i := range prompts {
+					tokens[i] = logits.ArgmaxRow(i)
+				}
+			}
+		}
+		var sink []*mat.Matrix
+		recompOp := func() {
+			for s := 0; s+1 < spec.gen; s++ {
+				sink = replica.DecodeFull(prefixes[s], memory, memOff)
+			}
+		}
+		cachedOp() // warm both paths' buffers
+		recompOp()
+		_ = sink
+
+		perTok := float64(batch * (spec.gen - 1))
+		cached := timeKernelFn(cachedOp, 50*time.Millisecond).Seconds()
+		recomp := timeKernelFn(recompOp, 50*time.Millisecond).Seconds()
+		st := eng.DecodeStats()
+		fmt.Printf("%-6d %14.0f %14.0f %9.1fx %14.1f\n",
+			batch, perTok/cached, perTok/recomp, recomp/cached,
+			float64(st.CachedRows)/float64(st.Tokens))
+	}
+	return nil
+}

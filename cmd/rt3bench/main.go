@@ -6,8 +6,9 @@
 //
 //	rt3bench -exp all
 //	rt3bench -exp tab3 -scale small
-//	rt3bench -exp tab1|tab2|tab3|tab4|fig3a|fig3bc|fig4|fig5|kernels
+//	rt3bench -exp tab1|tab2|tab3|tab4|fig3a|fig3bc|fig4|fig5|kernels|decode
 //	rt3bench -exp kernels -kernel pattern,dense -workers 4
+//	rt3bench -exp decode -decode-prompt 64 -decode-gen 64 -decode-batch 8
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rt3bench: ")
-	exp := flag.String("exp", "all", "experiment: all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels")
+	exp := flag.String("exp", "all", "experiment: all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels, decode")
 	scaleFlag := flag.String("scale", "tiny", "model scale: tiny or small")
 	kernels := flag.String("kernel", "all", "kernels experiment: comma-separated registry formats (dense, coo, csr, blockcsr, pattern) or all")
 	workers := flag.Int("workers", 1, "kernels experiment: parallel executor width per kernel")
@@ -32,6 +33,10 @@ func main() {
 	sparsity := flag.Float64("kernel-sparsity", 0.7, "kernels experiment: pattern sparsity")
 	seqs := flag.Int("kernel-seqs", 8, "kernels experiment batched mode: sequences fused per packed call (<=1 disables)")
 	seqLen := flag.Int("kernel-seqlen", 6, "kernels experiment batched mode: rows per sequence (default below the pattern kernel's batched-layout threshold, so the per-sequence arm runs the short-input path real per-request calls take)")
+	decPrompt := flag.Int("decode-prompt", 64, "decode experiment: prompt tokens prefilled per sequence")
+	decGen := flag.Int("decode-gen", 64, "decode experiment: tokens generated per sequence")
+	decBatch := flag.Int("decode-batch", 8, "decode experiment: largest fused decode batch (table sweeps 1/4/this)")
+	decSparsity := flag.Float64("decode-sparsity", 0.5, "decode experiment: pattern sparsity")
 	flag.Parse()
 
 	scale := experiments.ScaleTiny
@@ -134,9 +139,17 @@ func main() {
 			seqLen:   *seqLen,
 		})
 	})
+	run("decode", func() error {
+		return runDecodeBench(decodeBenchSpec{
+			prompt:   *decPrompt,
+			gen:      *decGen,
+			batch:    *decBatch,
+			sparsity: *decSparsity,
+		})
+	})
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5 or kernels)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels or decode)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -8,11 +8,19 @@
 // live switch count and total reconfiguration overhead, with every
 // response verified against masked dense execution.
 //
+// With -gen the deployment becomes the encoder-decoder LM and the
+// server runs KV-cached incremental decoding with continuous batching:
+// requests are generation prompts, each admitted sequence prefills once
+// and then rides fused one-token decode steps until EOS or its token
+// budget, and live level switches drain at step granularity.
+//
 // Usage:
 //
 //	rt3serve
 //	rt3serve -load
 //	rt3serve -load -policy rl -duration 3s -rps-start 200 -rps-end 900
+//	rt3serve -gen
+//	rt3serve -gen -load -gen-tokens 24 -rps-start 100 -rps-end 400
 package main
 
 import (
@@ -55,18 +63,25 @@ func main() {
 		batteryJ = flag.Float64("battery-j", 0.25, "simulated battery capacity in joules (0 disables)")
 		targetMS = flag.Float64("target-ms", 50, "latency objective fed to the policy")
 		seed     = flag.Int64("seed", 1, "rng seed")
-		verify   = flag.Bool("verify", true, "check every response against dense execution")
+		verify   = flag.Bool("verify", true, "check every response against dense execution (classification mode)")
+		gen      = flag.Bool("gen", false, "generation mode: KV-cached incremental decoding with continuous batching on the encoder-decoder LM")
+		genTok   = flag.Int("gen-tokens", 16, "generation mode: max tokens per request (load mode samples budgets in [max/2, max])")
+		genPrmpt = flag.Int("gen-prompt", 10, "generation mode: max prompt length (load mode samples lengths in [max/2, max])")
 	)
 	flag.Parse()
 
-	eng, bundleBytes, bundle := buildDeployment(*seed, *workers, serve.EngineConfig{
+	eng, bundleBytes, bundle := buildDeployment(*seed, *workers, *gen, serve.EngineConfig{
 		Format:        *format,
 		KernelWorkers: *kworkers,
 	})
 	defer eng.Close()
 	printDeployment(bundle, bundleBytes)
-	fmt.Printf("execution: %s kernels, %d replica(s), %d worker(s) per kernel\n\n",
-		eng.Format(), eng.Replicas(), *kworkers)
+	mode := "classification"
+	if *gen {
+		mode = "incremental decoding"
+	}
+	fmt.Printf("execution: %s kernels, %d replica(s), %d worker(s) per kernel, %s mode\n\n",
+		eng.Format(), eng.Replicas(), *kworkers, mode)
 
 	// smoke mode switches levels manually; only the load demo wants a
 	// policy fighting for the level
@@ -79,38 +94,50 @@ func main() {
 		}
 	}
 	srv := serve.New(eng, serve.Config{
-		MaxBatch:    *batch,
-		MaxDelay:    *maxDelay,
-		QueueCap:    4096,
-		Policy:      pol,
-		PolicyEvery: 10 * time.Millisecond,
-		TargetMS:    *targetMS,
-		BatteryJ:    *batteryJ,
+		MaxBatch:     *batch,
+		MaxDelay:     *maxDelay,
+		QueueCap:     4096,
+		Policy:       pol,
+		PolicyEvery:  10 * time.Millisecond,
+		TargetMS:     *targetMS,
+		BatteryJ:     *batteryJ,
+		Generate:     *gen,
+		MaxGenTokens: *genTok,
 	})
 	srv.Start()
 	defer srv.Stop()
 
 	if !*load {
-		smoke(srv, *seed)
+		if *gen {
+			smokeGen(srv, *seed, *genPrmpt, *genTok)
+		} else {
+			smoke(srv, *seed)
+		}
 		return
 	}
 
 	fmt.Printf("replaying %.0f->%.0f req/s over %s (policy %s, battery %.2f J)\n\n",
 		*rpsStart, *rpsEnd, *duration, *policyN, *batteryJ)
 	report, err := serve.RunLoad(srv, serve.LoadSpec{
-		Duration: *duration,
-		StartRPS: *rpsStart,
-		EndRPS:   *rpsEnd,
-		SeqLen:   10,
-		Vocab:    24,
-		Seed:     *seed,
-		Verify:   *verify,
+		Duration:     *duration,
+		StartRPS:     *rpsStart,
+		EndRPS:       *rpsEnd,
+		SeqLen:       10,
+		Vocab:        24,
+		Seed:         *seed,
+		Verify:       *verify && !*gen,
+		Gen:          *gen,
+		GenPromptMin: (*genPrmpt + 1) / 2,
+		GenPromptMax: *genPrmpt,
+		GenOutMin:    (*genTok + 1) / 2,
+		GenOutMax:    *genTok,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(report)
 	printBatchStats(eng)
+	printDecodeStats(eng)
 	if report.Switches == 0 {
 		log.Fatal("demo expected at least one live level switch; raise -duration or lower -battery-j")
 	}
@@ -137,14 +164,25 @@ func printBatchStats(eng *serve.Engine) {
 		fused, perSeq, perSeq-fused, float64(perSeq)/float64(fused))
 }
 
-// buildDeployment constructs the classifier, serializes its bundle, and
-// deploys it onto cloned worker replicas with the requested kernel
-// format and intra-kernel parallelism.
-func buildDeployment(seed int64, workers int, cfg serve.EngineConfig) (*serve.Engine, int, *deploy.Bundle) {
+// buildDeployment constructs the model — the DistilBERT-style
+// classifier, or the encoder-decoder LM in generation mode — serializes
+// its bundle, and deploys it onto cloned worker replicas with the
+// requested kernel format and intra-kernel parallelism.
+func buildDeployment(seed int64, workers int, gen bool, cfg serve.EngineConfig) (*serve.Engine, int, *deploy.Bundle) {
 	rng := rand.New(rand.NewSource(seed))
-	model := transformer.NewClassifier(transformer.Config{
-		Vocab: 24, Dim: 16, Heads: 2, FFHidden: 32, EncLayers: 2, SeqLen: 10, Classes: 3,
-	}, rng)
+	var model serve.Model
+	var clone func() serve.Model
+	if gen {
+		lm := transformer.NewLMModel(transformer.Config{
+			Vocab: 24, Dim: 16, Heads: 2, FFHidden: 32, EncLayers: 2, DecLayers: 1, SeqLen: 16,
+		}, rng)
+		model, clone = lm, func() serve.Model { return lm.Clone() }
+	} else {
+		cl := transformer.NewClassifier(transformer.Config{
+			Vocab: 24, Dim: 16, Heads: 2, FFHidden: 32, EncLayers: 2, SeqLen: 10, Classes: 3,
+		}, rng)
+		model, clone = cl, func() serve.Model { return cl.Clone() }
+	}
 	ref := model.PrunableLinears()[0].W.Value
 	var sets []*pattern.Set
 	for _, sp := range evalSparsities {
@@ -160,7 +198,7 @@ func buildDeployment(seed int64, workers int, cfg serve.EngineConfig) (*serve.En
 	}
 	var replicas []serve.Model
 	for i := 0; i < workers; i++ {
-		replicas = append(replicas, model.Clone())
+		replicas = append(replicas, clone())
 	}
 	eng, err := serve.NewEngineConfigured(loaded, replicas, rtswitch.DefaultSwitchCostModel(), cfg)
 	if err != nil {
@@ -185,6 +223,20 @@ func printDeployment(b *deploy.Bundle, bundleBytes int) {
 			costs.PatternSwitchMS(setBytes), costs.ModelSwitchMS(bundleBytes))
 	}
 	fmt.Println()
+}
+
+// printDecodeStats reports the KV-cache accounting of incremental
+// decoding: every cached prefix row is a row the full-recompute path
+// would have re-run through the whole decoder stack for that token.
+func printDecodeStats(eng *serve.Engine) {
+	st := eng.DecodeStats()
+	if st.Steps == 0 {
+		return
+	}
+	fmt.Printf("incremental decoding: %d prefills (%d sequences, %d prompt rows), %d fused steps, %d tokens\n",
+		st.Prefills, st.PrefillSeq, st.PrefillRows, st.Steps, st.Tokens)
+	fmt.Printf("  cache hits: %d prefix rows served from KV caches (%.1f rows/token not recomputed), %d states for %d sequences (free-list reuse)\n",
+		st.CachedRows, float64(st.CachedRows)/float64(st.Tokens), st.States, st.PrefillSeq)
 }
 
 // buildPolicy resolves the -policy flag.
@@ -224,4 +276,44 @@ func smoke(srv *serve.Server, seed int64) {
 	fmt.Printf("switches %d  modeled swap cost %.3f ms  kernel install %.3f ms\n", n, modelMS, wallMS)
 	fmt.Printf("mean batch %.1f  fill %.0f%%\n", srv.Recorder().MeanBatch(), srv.Recorder().FillRatio()*100)
 	printBatchStats(eng)
+}
+
+// smokeGen runs a few generations through each level and prints the
+// latency digests plus the decode-cache accounting.
+func smokeGen(srv *serve.Server, seed int64, maxPrompt, maxTokens int) {
+	if maxPrompt < 1 {
+		maxPrompt = 1
+	}
+	if maxTokens < 1 {
+		maxTokens = 1
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	eng := srv.Engine()
+	for lvl := 0; lvl < eng.NumLevels(); lvl++ {
+		if _, err := srv.SwitchTo(lvl); err != nil {
+			log.Fatal(err)
+		}
+		var chans []<-chan serve.GenResponse
+		for i := 0; i < 6; i++ {
+			prompt := make([]int, 1+rng.Intn(maxPrompt))
+			for j := range prompt {
+				prompt[j] = rng.Intn(24)
+			}
+			ch, err := srv.SubmitGen(prompt, 1+rng.Intn(maxTokens), -1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			chans = append(chans, ch)
+		}
+		for _, ch := range chans {
+			resp := <-ch
+			if resp.Err != nil {
+				log.Fatal(resp.Err)
+			}
+		}
+	}
+	fmt.Print(serve.FormatLevelStats(srv.Recorder().Snapshot()))
+	n, modelMS, wallMS := srv.Recorder().Switches()
+	fmt.Printf("switches %d  modeled swap cost %.3f ms  kernel install %.3f ms\n", n, modelMS, wallMS)
+	printDecodeStats(eng)
 }

@@ -117,17 +117,26 @@ func (m *Matrix) String() string {
 
 // EnsureShape returns a rows x cols matrix for reusable-buffer forward
 // paths: with reuse on, *buf is returned in place, reallocated only
-// when the shape changes (e.g. a dynamic batch's packed row count
-// varies per flush); off, it always allocates fresh. Reused buffers are
-// not zeroed — callers must overwrite every element.
+// when the width changes or the backing array is too small — a row
+// count that shrinks and grows again (a dynamic batch's packed row
+// count varying per flush, or prefill and decode steps alternating on
+// one replica) re-slices the same storage instead of reallocating.
+// Off, it always allocates fresh. Reused buffers are not zeroed —
+// callers must overwrite every element — and the returned header is
+// resized in place, so earlier views into it follow the usual
+// reuse-mode aliasing contract (valid until the next call).
 func EnsureShape(buf **Matrix, reuse bool, rows, cols int) *Matrix {
 	if !reuse {
 		return New(rows, cols)
 	}
-	if *buf == nil || (*buf).Rows != rows || (*buf).Cols != cols {
+	b := *buf
+	if b == nil || b.Cols != cols || cap(b.Data) < rows*cols {
 		*buf = New(rows, cols)
+		return *buf
 	}
-	return *buf
+	b.Rows = rows
+	b.Data = b.Data[:rows*cols]
+	return b
 }
 
 // GrowFloats resizes a scratch float slice to n, reallocating only on

@@ -76,15 +76,12 @@ func (l *Linear) SetBufferReuse(on bool) {
 }
 
 // output returns the Forward destination for a batch of the given size:
-// the reusable buffer when reuse is on, a fresh matrix otherwise.
+// the reusable buffer when reuse is on (resized in place, reallocating
+// only on capacity growth, so alternating row counts — a serving
+// replica interleaving packed prefills with single-row decode steps —
+// do not thrash the allocator), a fresh matrix otherwise.
 func (l *Linear) output(rows int) *mat.Matrix {
-	if l.reuse {
-		if l.out == nil || l.out.Rows != rows {
-			l.out = mat.New(rows, l.Out)
-		}
-		return l.out
-	}
-	return mat.New(rows, l.Out)
+	return mat.EnsureShape(&l.out, l.reuse, rows, l.Out)
 }
 
 // Forward computes the affine map for a batch x In input.

@@ -21,6 +21,7 @@ import (
 	"rt3/internal/nn"
 	"rt3/internal/pattern"
 	"rt3/internal/rtswitch"
+	"rt3/internal/transformer"
 )
 
 // Model is the inference surface the engine executes, with the prunable
@@ -101,6 +102,43 @@ type Engine struct {
 	batchCount atomic.Int64 // ForwardBatch calls (fused forward passes)
 	batchSeqs  atomic.Int64 // sequences executed through ForwardBatch
 	batchRows  atomic.Int64 // packed rows (ΣL) executed through ForwardBatch
+
+	// decModels[r] is replica r as a DecodeModel, nil when the model has
+	// no incremental-decoding surface.
+	decModels []DecodeModel
+
+	// incremental-decoding counters (atomic, same discipline as above).
+	decStates      atomic.Int64 // DecodeStates built (free-list reuse keeps this at the slot count)
+	decPrefills    atomic.Int64 // PrefillBatch calls
+	decPrefillSeq  atomic.Int64 // sequences prefilled
+	decPrefillRows atomic.Int64 // packed prompt rows prefilled
+	decSteps       atomic.Int64 // DecodeBatch calls (fused decode steps)
+	decTokens      atomic.Int64 // tokens decoded through DecodeBatch
+	decCachedRows  atomic.Int64 // cache hits: K/V rows read from caches instead of recomputed
+}
+
+// DecodeModel is the incremental-decoding surface of a Model: prompt
+// prefill seeding per-sequence KV caches, and one-token-per-sequence
+// decode steps against them. transformer.LMModel satisfies it.
+type DecodeModel interface {
+	Model
+	NewDecodeState() *transformer.DecodeState
+	Prefill(states []*transformer.DecodeState, prompts [][]int) []*mat.Matrix
+	DecodeStep(states []*transformer.DecodeState, tokens []int) *mat.Matrix
+}
+
+// DecodeStats reports cumulative incremental-decoding execution. Every
+// CachedRows entry is a projected K/V row read straight from a cache —
+// work the full-recompute path would redo for every generated token, so
+// CachedRows/Tokens is the mean prefix length the cache saves per step.
+type DecodeStats struct {
+	States      int64 // decode states built (slot count when the free-list recycles)
+	Prefills    int64 // fused prompt prefill passes
+	PrefillSeq  int64 // sequences admitted through prefill
+	PrefillRows int64 // packed prompt rows executed through prefill
+	Steps       int64 // fused decode steps
+	Tokens      int64 // tokens decoded
+	CachedRows  int64 // prefix rows served from cache, per sequence per step
 }
 
 // BatchStats reports cumulative batched execution: fused forward passes,
@@ -139,6 +177,12 @@ func NewEngineConfigured(bundle *deploy.Bundle, replicas []Model, costs rtswitch
 		return nil, err
 	}
 	e := &Engine{bundle: bundle, recon: recon, cfg: cfg.withDefaults(), replicas: replicas}
+	e.decModels = make([]DecodeModel, len(replicas))
+	for i, r := range replicas {
+		if dm, ok := r.(DecodeModel); ok {
+			e.decModels[i] = dm
+		}
+	}
 
 	lins := replicas[0].PrunableLinears()
 	if len(lins) == 0 {
@@ -297,6 +341,98 @@ func (e *Engine) ForwardBatch(replica int, seqs [][]int) []*mat.Matrix {
 		cloned[i] = o.Clone()
 	}
 	return cloned
+}
+
+// SupportsDecode reports whether every replica exposes the
+// incremental-decoding surface (DecodeModel).
+func (e *Engine) SupportsDecode() bool {
+	for _, dm := range e.decModels {
+		if dm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeModel returns replica r's decoding surface.
+func (e *Engine) decodeModel(replica int) (DecodeModel, error) {
+	dm := e.decModels[replica]
+	if dm == nil {
+		return nil, fmt.Errorf("serve: replica %d does not support incremental decoding", replica)
+	}
+	return dm, nil
+}
+
+// NewDecodeState builds an empty per-sequence KV cache shaped for the
+// given replica's model. The serving scheduler recycles states through
+// a free-list, so the States counter staying at the slot count is the
+// cache-memory-reuse signal.
+func (e *Engine) NewDecodeState(replica int) (*transformer.DecodeState, error) {
+	dm, err := e.decodeModel(replica)
+	if err != nil {
+		return nil, err
+	}
+	e.decStates.Add(1)
+	return dm.NewDecodeState(), nil
+}
+
+// PrefillBatch runs the prompt phase for a batch of new sequences on
+// the given replica: one fused packed forward pass (exactly
+// ForwardBatch) that also seeds each DecodeState's per-layer KV caches.
+// Unlike ForwardBatch, the returned logits are views valid only until
+// the replica's next forward — the decode loop consumes the last row
+// (the first generated token's distribution) immediately, keeping the
+// steady-state path allocation-free.
+func (e *Engine) PrefillBatch(replica int, states []*transformer.DecodeState, prompts [][]int) ([]*mat.Matrix, error) {
+	dm, err := e.decodeModel(replica)
+	if err != nil {
+		return nil, err
+	}
+	outs := dm.Prefill(states, prompts)
+	rows := 0
+	for _, p := range prompts {
+		rows += len(p)
+	}
+	e.decPrefills.Add(1)
+	e.decPrefillSeq.Add(int64(len(prompts)))
+	e.decPrefillRows.Add(int64(rows))
+	return outs, nil
+}
+
+// DecodeBatch advances every sequence by one token on the given
+// replica: one fused decode step (per decoder layer, one kernel product
+// over the B packed single-token rows) attending the per-sequence KV
+// caches. Returns the packed B x vocab logits (row i belongs to
+// states[i]) as a view valid until the replica's next forward. Counters
+// record the step, its tokens, and the cached prefix rows each token
+// attended instead of recomputing.
+func (e *Engine) DecodeBatch(replica int, states []*transformer.DecodeState, tokens []int) (*mat.Matrix, error) {
+	dm, err := e.decodeModel(replica)
+	if err != nil {
+		return nil, err
+	}
+	cached := int64(0)
+	for _, st := range states {
+		cached += int64(st.Pos())
+	}
+	logits := dm.DecodeStep(states, tokens)
+	e.decSteps.Add(1)
+	e.decTokens.Add(int64(len(tokens)))
+	e.decCachedRows.Add(cached)
+	return logits, nil
+}
+
+// DecodeStats returns the cumulative incremental-decoding counters.
+func (e *Engine) DecodeStats() DecodeStats {
+	return DecodeStats{
+		States:      e.decStates.Load(),
+		Prefills:    e.decPrefills.Load(),
+		PrefillSeq:  e.decPrefillSeq.Load(),
+		PrefillRows: e.decPrefillRows.Load(),
+		Steps:       e.decSteps.Load(),
+		Tokens:      e.decTokens.Load(),
+		CachedRows:  e.decCachedRows.Load(),
+	}
 }
 
 // DenseForward runs one inference on replica 0 with level idx's mask

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"time"
+
+	"rt3/internal/transformer"
+)
+
+// GenResponse is the answer to one generation request.
+type GenResponse struct {
+	// Err is non-nil when the request was abandoned (the server was
+	// stopped before ever starting); all other fields are then zero.
+	Err error
+	// Tokens holds the generated tokens (the prompt excluded). When an
+	// EOS token was requested and produced it is the final entry.
+	Tokens []int
+	// Level is the V/F level active when the generation completed. A
+	// live switch mid-generation is legal — the sequence keeps its KV
+	// cache and continues on the new level's kernels, exactly as queued
+	// batch requests span switches today.
+	Level int
+	// Steps is the number of fused decode steps the sequence rode in
+	// (len(Tokens)-1: the first token comes from the prefill pass).
+	Steps int
+	// QueueMS is admission-to-prefill-dispatch wait. PrefillMS is the
+	// fused prompt pass's execution time (shared by every sequence
+	// admitted in it). DecodeMS accumulates the fused decode steps this
+	// sequence was active in. TotalMS is admission to completion.
+	QueueMS, PrefillMS, DecodeMS, TotalMS float64
+}
+
+// genReq is one queued generation request.
+type genReq struct {
+	prompt    []int
+	maxTokens int
+	eos       int
+	enq       time.Time
+	resp      chan GenResponse
+}
+
+// SubmitGen admits one generation request and returns the channel its
+// response will arrive on (buffered; exactly one send). maxTokens <= 0
+// picks Config.MaxGenTokens; eos < 0 disables EOS detection. It fails
+// fast with ErrNotGenerating on a server without Generate mode,
+// ErrEmptyRequest for an empty prompt, ErrQueueFull at capacity, and
+// ErrStopped after Stop.
+func (s *Server) SubmitGen(prompt []int, maxTokens, eos int) (<-chan GenResponse, error) {
+	if !s.cfg.Generate {
+		return nil, ErrNotGenerating
+	}
+	if len(prompt) == 0 {
+		return nil, ErrEmptyRequest
+	}
+	if maxTokens <= 0 {
+		maxTokens = s.cfg.MaxGenTokens
+	}
+	if eos < 0 {
+		eos = -1
+	}
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if s.stopped {
+		return nil, ErrStopped
+	}
+	r := &genReq{prompt: prompt, maxTokens: maxTokens, eos: eos, enq: time.Now(), resp: make(chan GenResponse, 1)}
+	select {
+	case s.genIn <- r:
+		return r.resp, nil
+	default:
+		s.rec.ObserveDrop()
+		return nil, ErrQueueFull
+	}
+}
+
+// genSlot is one active sequence in a decode worker's step loop.
+type genSlot struct {
+	req       *genReq
+	st        *transformer.DecodeState
+	tokens    []int
+	steps     int
+	queueMS   float64
+	prefillMS float64
+	decodeMS  float64
+}
+
+// done reports whether the slot's latest token finished the sequence.
+func (sl *genSlot) done() bool {
+	last := sl.tokens[len(sl.tokens)-1]
+	return last == sl.req.eos || len(sl.tokens) >= sl.req.maxTokens
+}
+
+// decodeWorker is the continuous-batching step loop owning one engine
+// replica: every iteration it admits queued requests into free decode
+// slots (prefilling them as one fused packed pass), advances all active
+// sequences by one fused decode step, and evicts sequences that hit EOS
+// or their token budget — their responses are delivered and their KV
+// caches recycled through a free-list, so steady-state decoding
+// allocates nothing. The execMu read lock spans one admission + step,
+// so a live pattern-set/V/F switch drains in-flight work at step
+// granularity, exactly as it drains batches in classification mode.
+func (s *Server) decodeWorker(replica int) {
+	defer s.wg.Done()
+	var (
+		slots    []*genSlot
+		finished []*genSlot
+		free     []*transformer.DecodeState
+		admit    []*genReq
+		admitOK  []*genReq
+		states   []*transformer.DecodeState
+		prompts  [][]int
+		tokens   []int
+	)
+	open := true
+	for open || len(slots) > 0 {
+		// top the slots up to MaxBatch; block only when fully idle
+		admit = admit[:0]
+	admitLoop:
+		for open && len(slots)+len(admit) < s.cfg.MaxBatch {
+			if len(slots) == 0 && len(admit) == 0 {
+				r, ok := <-s.genIn
+				if !ok {
+					open = false
+					break admitLoop
+				}
+				admit = append(admit, r)
+				continue
+			}
+			select {
+			case r, ok := <-s.genIn:
+				if !ok {
+					open = false
+					break admitLoop
+				}
+				admit = append(admit, r)
+			default:
+				break admitLoop
+			}
+		}
+
+		finished = finished[:0]
+		s.execMu.RLock()
+		level := s.eng.Level()
+		if len(admit) > 0 {
+			admitOK = admitOK[:0]
+			states = states[:0]
+			prompts = prompts[:0]
+			for _, r := range admit {
+				st, err := s.takeState(replica, &free)
+				if err != nil {
+					r.resp <- GenResponse{Err: err}
+					continue
+				}
+				st.Reserve(len(r.prompt) + r.maxTokens)
+				admitOK = append(admitOK, r)
+				states = append(states, st)
+				prompts = append(prompts, r.prompt)
+			}
+			if len(states) > 0 {
+				dispatch := time.Now()
+				outs, err := s.eng.PrefillBatch(replica, states, prompts)
+				prefillMS := float64(time.Since(dispatch).Microseconds()) / 1000
+				s.rec.ObserveBatch(len(states), s.cfg.MaxBatch)
+				for i, r := range admitOK {
+					if err != nil {
+						free = append(free, states[i])
+						r.resp <- GenResponse{Err: err}
+						continue
+					}
+					sl := &genSlot{
+						req: r, st: states[i],
+						queueMS:   float64(dispatch.Sub(r.enq).Microseconds()) / 1000,
+						prefillMS: prefillMS,
+					}
+					out := outs[i]
+					sl.tokens = append(sl.tokens, out.ArgmaxRow(out.Rows-1))
+					if sl.done() {
+						finished = append(finished, sl)
+					} else {
+						slots = append(slots, sl)
+					}
+				}
+			}
+		}
+		if len(slots) > 0 {
+			tokens = tokens[:0]
+			states = states[:0]
+			for _, sl := range slots {
+				tokens = append(tokens, sl.tokens[len(sl.tokens)-1])
+				states = append(states, sl.st)
+			}
+			t0 := time.Now()
+			logits, err := s.eng.DecodeBatch(replica, states, tokens)
+			stepMS := float64(time.Since(t0).Microseconds()) / 1000
+			n := 0
+			for i, sl := range slots {
+				sl.steps++
+				sl.decodeMS += stepMS
+				if err != nil {
+					free = append(free, sl.st)
+					sl.req.resp <- GenResponse{Err: err}
+					continue
+				}
+				sl.tokens = append(sl.tokens, logits.ArgmaxRow(i))
+				if sl.done() {
+					finished = append(finished, sl)
+				} else {
+					slots[n] = sl
+					n++
+				}
+			}
+			slots = slots[:n]
+		}
+		s.execMu.RUnlock()
+
+		for _, sl := range finished {
+			free = append(free, sl.st)
+			s.finishGen(sl, level)
+		}
+	}
+}
+
+// takeState pops a recycled DecodeState off the worker's free-list or
+// builds a fresh one.
+func (s *Server) takeState(replica int, free *[]*transformer.DecodeState) (*transformer.DecodeState, error) {
+	if n := len(*free); n > 0 {
+		st := (*free)[n-1]
+		*free = (*free)[:n-1]
+		return st, nil
+	}
+	return s.eng.NewDecodeState(replica)
+}
+
+// finishGen delivers one completed generation, records its latency
+// split, and charges the modeled energy of its generated tokens.
+func (s *Server) finishGen(sl *genSlot, level int) {
+	sl.req.resp <- GenResponse{
+		Tokens:    sl.tokens,
+		Level:     level,
+		Steps:     sl.steps,
+		QueueMS:   sl.queueMS,
+		PrefillMS: sl.prefillMS,
+		DecodeMS:  sl.decodeMS,
+		TotalMS:   float64(time.Since(sl.req.enq).Microseconds()) / 1000,
+	}
+	s.rec.Observe(level, sl.queueMS, sl.prefillMS+sl.decodeMS)
+	s.drainEnergy(level, len(sl.tokens))
+}

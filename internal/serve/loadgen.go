@@ -25,6 +25,18 @@ type LoadSpec struct {
 	PoolSize int
 	Seed     int64
 
+	// Gen switches the workload to generation requests (SubmitGen on a
+	// Generate-mode server): each arrival samples a prompt length
+	// uniformly from [GenPromptMin, GenPromptMax] and a max-output
+	// budget uniformly from [GenOutMin, GenOutMax], driving the
+	// KV-cached continuous-batching decode path open-loop. Incompatible
+	// with Verify (generation has no dense per-response reference).
+	Gen bool
+	// GenPromptMin/Max bound the sampled prompt lengths (default 4..12).
+	GenPromptMin, GenPromptMax int
+	// GenOutMin/Max bound the sampled max-token budgets (default 4..16).
+	GenOutMin, GenOutMax int
+
 	// Verify recomputes every response against masked dense execution at
 	// the level it was served on, after the run (requires the caller not
 	// to Stop the server until RunLoad returns).
@@ -52,6 +64,18 @@ func (s LoadSpec) withDefaults() LoadSpec {
 	if s.EndRPS <= 0 {
 		s.EndRPS = s.StartRPS
 	}
+	if s.GenPromptMin <= 0 {
+		s.GenPromptMin = 4
+	}
+	if s.GenPromptMax < s.GenPromptMin {
+		s.GenPromptMax = s.GenPromptMin + 8
+	}
+	if s.GenOutMin <= 0 {
+		s.GenOutMin = 4
+	}
+	if s.GenOutMax < s.GenOutMin {
+		s.GenOutMax = s.GenOutMin + 12
+	}
 	return s
 }
 
@@ -78,6 +102,12 @@ type LoadReport struct {
 
 	Verified   int
 	Mismatches int
+
+	// Generation-mode results (Gen workloads only).
+	GenTokens    int     // tokens generated across completed requests
+	TokensPerSec float64 // generated-token throughput over the run
+	MeanGenLen   float64 // mean generated tokens per completed request
+	MeanSteps    float64 // mean fused decode steps each request rode in
 }
 
 // String renders the report in the repo's table style.
@@ -92,6 +122,10 @@ func (r *LoadReport) String() string {
 	if r.Verified > 0 {
 		fmt.Fprintf(&b, "verified %d responses against dense execution: %d mismatches\n", r.Verified, r.Mismatches)
 	}
+	if r.GenTokens > 0 {
+		fmt.Fprintf(&b, "generated %d tokens (%.0f tok/s, mean %.1f tokens over %.1f steps per request)\n",
+			r.GenTokens, r.TokensPerSec, r.MeanGenLen, r.MeanSteps)
+	}
 	return b.String()
 }
 
@@ -103,17 +137,26 @@ type pending struct {
 
 // RunLoad replays open-loop traffic against a started server, waits for
 // every admitted request to complete, and reports latency, throughput,
-// switching, and (optionally) correctness versus dense execution. The
-// server is left running.
+// switching, and (optionally) correctness versus dense execution. A
+// Gen spec instead drives the continuous-batching decode path with
+// sampled prompt/output length distributions and reports generated-
+// token throughput. The server is left running.
 func RunLoad(s *Server, spec LoadSpec) (*LoadReport, error) {
 	spec = spec.withDefaults()
 	if spec.Duration <= 0 {
 		return nil, fmt.Errorf("serve: LoadSpec.Duration must be positive")
 	}
+	if spec.Gen && spec.Verify {
+		return nil, fmt.Errorf("serve: LoadSpec.Verify is not supported for generation workloads")
+	}
 	rng := rand.New(rand.NewSource(spec.Seed))
 	pool := make([][]int, spec.PoolSize)
 	for i := range pool {
-		seq := make([]int, spec.SeqLen)
+		n := spec.SeqLen
+		if spec.Gen {
+			n = spec.GenPromptMin + rng.Intn(spec.GenPromptMax-spec.GenPromptMin+1)
+		}
+		seq := make([]int, n)
 		for j := range seq {
 			seq[j] = rng.Intn(spec.Vocab)
 		}
@@ -122,6 +165,7 @@ func RunLoad(s *Server, spec LoadSpec) (*LoadReport, error) {
 
 	report := &LoadReport{}
 	var inflight []pending
+	var genFlight []<-chan GenResponse
 	start := time.Now()
 	next := start
 	for {
@@ -136,11 +180,23 @@ func RunLoad(s *Server, spec LoadSpec) (*LoadReport, error) {
 			time.Sleep(d)
 		}
 		idx := rng.Intn(len(pool))
-		ch, err := s.Submit(pool[idx])
+		var ch <-chan Response
+		var gch <-chan GenResponse
+		var err error
+		if spec.Gen {
+			budget := spec.GenOutMin + rng.Intn(spec.GenOutMax-spec.GenOutMin+1)
+			gch, err = s.SubmitGen(pool[idx], budget, -1)
+		} else {
+			ch, err = s.Submit(pool[idx])
+		}
 		report.Offered++
 		switch err {
 		case nil:
-			inflight = append(inflight, pending{poolIdx: idx, ch: ch})
+			if spec.Gen {
+				genFlight = append(genFlight, gch)
+			} else {
+				inflight = append(inflight, pending{poolIdx: idx, ch: ch})
+			}
 		case ErrQueueFull:
 			report.Dropped++
 		default:
@@ -152,9 +208,23 @@ func RunLoad(s *Server, spec LoadSpec) (*LoadReport, error) {
 	for i, p := range inflight {
 		responses[i] = <-p.ch
 	}
+	var steps int
+	for _, gch := range genFlight {
+		resp := <-gch
+		if resp.Err != nil {
+			return nil, resp.Err
+		}
+		report.GenTokens += len(resp.Tokens)
+		steps += resp.Steps
+	}
 	report.Elapsed = time.Since(start)
-	report.Completed = len(responses)
+	report.Completed = len(responses) + len(genFlight)
 	report.ThroughputRPS = float64(report.Completed) / report.Elapsed.Seconds()
+	if n := len(genFlight); n > 0 {
+		report.TokensPerSec = float64(report.GenTokens) / report.Elapsed.Seconds()
+		report.MeanGenLen = float64(report.GenTokens) / float64(n)
+		report.MeanSteps = float64(steps) / float64(n)
+	}
 	report.MeanBatch = s.Recorder().MeanBatch()
 	report.FillRatio = s.Recorder().FillRatio()
 	report.Levels = s.Recorder().Snapshot()

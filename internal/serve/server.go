@@ -12,9 +12,11 @@ import (
 
 // Admission and lifecycle errors.
 var (
-	ErrQueueFull    = errors.New("serve: request queue full")
-	ErrStopped      = errors.New("serve: server stopped")
-	ErrEmptyRequest = errors.New("serve: empty token sequence")
+	ErrQueueFull     = errors.New("serve: request queue full")
+	ErrStopped       = errors.New("serve: server stopped")
+	ErrEmptyRequest  = errors.New("serve: empty token sequence")
+	ErrNotGenerating = errors.New("serve: SubmitGen requires Config.Generate")
+	ErrGenerating    = errors.New("serve: Submit unavailable in generation mode; use SubmitGen")
 )
 
 // Config tunes the server. Zero values pick the documented defaults.
@@ -28,6 +30,19 @@ type Config struct {
 	// QueueCap bounds admitted-but-unserved requests (default 1024);
 	// Submit fails fast with ErrQueueFull beyond it.
 	QueueCap int
+
+	// Generate switches the worker pool from batched classification to
+	// continuous-batching incremental decoding: each worker runs a
+	// KV-cached step loop on its replica, admitting queued generation
+	// requests into up to MaxBatch decode slots every step (prefill as
+	// one fused packed pass, then one token per fused step) and evicting
+	// on EOS or token budget. Requires replicas implementing DecodeModel
+	// (e.g. transformer.LMModel); Submit then fails with ErrGenerating
+	// and requests enter through SubmitGen.
+	Generate bool
+	// MaxGenTokens caps generated tokens per request when the request
+	// does not set its own budget (default 32).
+	MaxGenTokens int
 
 	// Policy, when set, is consulted every PolicyEvery (default 20ms)
 	// with the current Status; a differing decision triggers a live
@@ -60,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PolicyEvery <= 0 {
 		c.PolicyEvery = 20 * time.Millisecond
+	}
+	if c.MaxGenTokens <= 0 {
+		c.MaxGenTokens = 32
 	}
 	if c.Power == (dvfs.PowerModel{}) {
 		c.Power = dvfs.DefaultPowerModel()
@@ -121,6 +139,7 @@ type Server struct {
 	battery *dvfs.Battery // guarded by batMu
 
 	in      chan *request
+	genIn   chan *genReq
 	batches chan []*request
 
 	// execMu is read-held by workers for the duration of one batch and
@@ -135,14 +154,19 @@ type Server struct {
 	wg   sync.WaitGroup
 }
 
-// New builds a server over a deployed engine.
+// New builds a server over a deployed engine. A Generate configuration
+// requires the engine's replicas to support incremental decoding.
 func New(eng *Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.Generate && !eng.SupportsDecode() {
+		panic("serve: Config.Generate requires model replicas implementing DecodeModel (e.g. transformer.LMModel)")
+	}
 	s := &Server{
 		cfg:     cfg,
 		eng:     eng,
 		rec:     NewRecorder(eng.bundle.LevelNames),
 		in:      make(chan *request, cfg.QueueCap),
+		genIn:   make(chan *genReq, cfg.QueueCap),
 		batches: make(chan []*request, eng.Replicas()),
 		done:    make(chan struct{}),
 	}
@@ -158,8 +182,10 @@ func (s *Server) Recorder() *Recorder { return s.rec }
 // Engine exposes the underlying execution engine.
 func (s *Server) Engine() *Engine { return s.eng }
 
-// Start launches the batcher, one worker per engine replica, and (when
-// configured) the policy loop.
+// Start launches the worker pool — the dynamic batcher plus one batch
+// worker per engine replica, or (in Generate mode) one continuous-
+// batching decode loop per replica — and, when configured, the policy
+// loop.
 func (s *Server) Start() {
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
@@ -167,11 +193,18 @@ func (s *Server) Start() {
 		return
 	}
 	s.started = true
-	s.wg.Add(1)
-	go s.batcher()
-	for i := 0; i < s.eng.Replicas(); i++ {
+	if s.cfg.Generate {
+		for i := 0; i < s.eng.Replicas(); i++ {
+			s.wg.Add(1)
+			go s.decodeWorker(i)
+		}
+	} else {
 		s.wg.Add(1)
-		go s.worker(i)
+		go s.batcher()
+		for i := 0; i < s.eng.Replicas(); i++ {
+			s.wg.Add(1)
+			go s.worker(i)
+		}
 	}
 	if s.cfg.Policy != nil {
 		s.wg.Add(1)
@@ -185,6 +218,9 @@ func (s *Server) Start() {
 // has no representation for it), ErrQueueFull when the queue is at
 // capacity, and ErrStopped after Stop.
 func (s *Server) Submit(ids []int) (<-chan Response, error) {
+	if s.cfg.Generate {
+		return nil, ErrGenerating
+	}
 	if len(ids) == 0 {
 		return nil, ErrEmptyRequest
 	}
@@ -203,10 +239,11 @@ func (s *Server) Submit(ids []int) (<-chan Response, error) {
 	}
 }
 
-// Stop closes admission, drains every queued request through the workers,
-// and blocks until all goroutines exit. Pending responses are delivered;
-// on a server that was never started, queued requests receive a Response
-// with Err == ErrStopped instead of an answer.
+// Stop closes admission, drains every queued request through the
+// workers — in Generate mode queued and in-flight generations run to
+// completion — and blocks until all goroutines exit. Pending responses
+// are delivered; on a server that was never started, queued requests
+// receive a response with Err == ErrStopped instead of an answer.
 func (s *Server) Stop() {
 	s.stateMu.Lock()
 	if s.stopped {
@@ -216,6 +253,7 @@ func (s *Server) Stop() {
 	s.stopped = true
 	started := s.started
 	close(s.in)
+	close(s.genIn)
 	close(s.done)
 	s.stateMu.Unlock()
 	if started {
@@ -225,6 +263,9 @@ func (s *Server) Stop() {
 	for r := range s.in {
 		r.resp <- Response{Err: ErrStopped}
 	}
+	for r := range s.genIn {
+		r.resp <- GenResponse{Err: ErrStopped}
+	}
 }
 
 // Status snapshots the signals a level policy decides on.
@@ -233,7 +274,7 @@ func (s *Server) Status() Status {
 	return Status{
 		Level:           s.eng.Level(),
 		NumLevels:       s.eng.NumLevels(),
-		QueueDepth:      len(s.in),
+		QueueDepth:      len(s.in) + len(s.genIn),
 		QueueCap:        s.cfg.QueueCap,
 		BatteryFraction: frac,
 		RecentP95MS:     s.rec.RecentP95(),
@@ -356,19 +397,20 @@ func (s *Server) worker(replica int) {
 				BatchSize: len(batch),
 			}
 			s.rec.Observe(level, queueMS, execMS)
-			s.drainEnergy(level)
+			s.drainEnergy(level, 1)
 		}
 		s.execMu.RUnlock()
 	}
 }
 
-// drainEnergy charges the modeled inference energy of one request at the
-// given level against the simulated battery.
-func (s *Server) drainEnergy(level int) {
+// drainEnergy charges the modeled inference energy of n units of work
+// at the given level against the simulated battery: one per request in
+// classification mode, one per generated token in generation mode.
+func (s *Server) drainEnergy(level, n int) {
 	if s.battery == nil {
 		return
 	}
-	e := s.cfg.Power.InferenceEnergy(s.eng.Levels()[level], s.cfg.CyclesPerInference)
+	e := s.cfg.Power.InferenceEnergy(s.eng.Levels()[level], s.cfg.CyclesPerInference) * float64(n)
 	s.batMu.Lock()
 	defer s.batMu.Unlock()
 	if !s.battery.Drain(e) {

@@ -45,6 +45,11 @@ type MultiHeadAttention struct {
 	// reusable forward scratch (active when reuse is on)
 	reuse                  bool
 	qh, kh, vh, oh, concat *mat.Matrix
+
+	// incremental-decoding scratch (see decode.go): the per-(head,
+	// sequence) score row of a cached decode step, sized to the largest
+	// cache capacity so steady-state steps allocate nothing.
+	decScores []float64
 }
 
 // NewMultiHeadAttention creates an H-head attention block over dim

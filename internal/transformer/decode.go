@@ -1,0 +1,389 @@
+package transformer
+
+import (
+	"fmt"
+	"math"
+
+	"rt3/internal/mat"
+)
+
+// Incremental decoding: the O(L)-per-token serving path for
+// autoregressive generation.
+//
+// The LM is an encoder-decoder stack whose encoder attends
+// bidirectionally, so generation uses the standard seq2seq serving
+// semantics: Prefill runs the full model over the prompt once (the
+// encoder memory is frozen there), and every DecodeStep extends only
+// the decoder by one token row per sequence, attending to cached
+// projected keys/values instead of re-running the whole prefix. Under
+// a frozen memory every layer's representation of position i is
+// independent of later tokens (decoder self-attention is causal, and
+// the cross-attended memory never changes), so a cached decode of N
+// tokens is bit-identical to N full recomputations of the decoder
+// stack over the growing sequence — the reference DecodeFull computes.
+
+// KVCache holds one attention block's projected key/value rows for one
+// sequence: row-major rows x dim slices whose backing storage is grown
+// via mat.GrowFloats, so a cache reserved up front (prompt + max new
+// tokens) appends without ever touching the allocator.
+type KVCache struct {
+	k, v []float64
+	dim  int
+}
+
+// Rows returns the number of cached key/value rows.
+func (c *KVCache) Rows() int { return len(c.k) / c.dim }
+
+// capRows returns the row capacity of the backing storage.
+func (c *KVCache) capRows() int { return cap(c.k) / c.dim }
+
+// reserve grows the backing storage to hold at least rows rows,
+// preserving cached contents (mat.GrowFloats reallocates without
+// copying, so the copy happens here).
+func (c *KVCache) reserve(rows int) {
+	n := rows * c.dim
+	if cap(c.k) >= n {
+		return
+	}
+	k := mat.GrowFloats(nil, n)
+	v := mat.GrowFloats(nil, n)
+	copy(k, c.k)
+	copy(v, c.v)
+	c.k, c.v = k[:len(c.k)], v[:len(c.v)]
+}
+
+// appendRows copies rows [r0, r1) of the packed projections k and v
+// into the cache, doubling the backing storage when it runs out (an
+// up-front reserve makes this allocation-free).
+func (c *KVCache) appendRows(k, v *mat.Matrix, r0, r1 int) {
+	need := c.Rows() + (r1 - r0)
+	if c.capRows() < need {
+		double := 2 * c.Rows()
+		if double < need {
+			double = need
+		}
+		c.reserve(double)
+	}
+	for r := r0; r < r1; r++ {
+		n := len(c.k)
+		c.k = c.k[:n+c.dim]
+		c.v = c.v[:n+c.dim]
+		copy(c.k[n:], k.Row(r))
+		copy(c.v[n:], v.Row(r))
+	}
+}
+
+// truncate drops cached rows beyond rows, keeping capacity.
+func (c *KVCache) truncate(rows int) {
+	c.k = c.k[:rows*c.dim]
+	c.v = c.v[:rows*c.dim]
+}
+
+// DecodeState is one sequence's incremental-decoding cache: per decoder
+// layer, the growing causal self-attention K/V rows (prompt + generated
+// tokens) and the cross-attention K/V of the prompt's frozen encoder
+// memory. States are cheap to recycle — Reset keeps the reserved
+// storage, which is what the serving scheduler's free-list relies on
+// for allocation-free steady-state decoding.
+type DecodeState struct {
+	self  []KVCache // per decoder layer, one row appended per token
+	cross []KVCache // per decoder layer, frozen at prefill
+	pos   int       // decoder rows cached (the next token's position)
+}
+
+// NewDecodeState allocates an empty decode cache shaped for this model.
+// Incremental decoding needs a decoder stack: logits of an
+// encoder-only configuration depend bidirectionally on the whole
+// sequence and cannot be extended one token at a time.
+func (m *LMModel) NewDecodeState() *DecodeState {
+	if len(m.Dec) == 0 {
+		panic("transformer: incremental decoding requires at least one decoder layer")
+	}
+	st := &DecodeState{
+		self:  make([]KVCache, len(m.Dec)),
+		cross: make([]KVCache, len(m.Dec)),
+	}
+	for i := range st.self {
+		st.self[i].dim = m.Cfg.Dim
+		st.cross[i].dim = m.Cfg.Dim
+	}
+	return st
+}
+
+// Pos returns the next token's position: the number of decoder rows
+// (prompt plus generated tokens) currently cached.
+func (st *DecodeState) Pos() int { return st.pos }
+
+// Reserve grows every layer's self-attention cache to hold at least
+// rows rows without losing cached contents. Reserving prompt length +
+// max new tokens at admission makes the whole generation
+// append-allocation-free. The frozen cross-attention caches are not
+// touched: they hold exactly the prompt's memory rows, sized once at
+// prefill (and kept across free-list recycling).
+func (st *DecodeState) Reserve(rows int) {
+	for i := range st.self {
+		st.self[i].reserve(rows)
+	}
+}
+
+// Reset empties the state for reuse (free-list recycling), keeping the
+// reserved storage.
+func (st *DecodeState) Reset() {
+	for i := range st.self {
+		st.self[i].truncate(0)
+		st.cross[i].truncate(0)
+	}
+	st.pos = 0
+}
+
+// TruncateTo rewinds the state to position pos (0 <= pos <= Pos()),
+// dropping the self-attention rows of later tokens while keeping the
+// frozen cross-attention memory — the rollback primitive for replaying
+// or discarding speculative tokens.
+func (st *DecodeState) TruncateTo(pos int) {
+	if pos < 0 || pos > st.pos {
+		panic(fmt.Sprintf("transformer: TruncateTo(%d) outside [0, %d]", pos, st.pos))
+	}
+	for i := range st.self {
+		st.self[i].truncate(pos)
+	}
+	st.pos = pos
+}
+
+// Prefill runs the prompt phase of incremental decoding: one packed
+// forward pass over the prompts — the exact ForwardBatch computation —
+// that additionally seeds each sequence's DecodeState with every
+// decoder layer's projected self-attention K/V rows and the frozen
+// cross-attention K/V of the prompt's encoder memory. States are reset
+// first, so recycled states can be passed directly. Returns the
+// per-sequence logits (views, per the ForwardBatch aliasing contract);
+// the last row of each is the first generated token's distribution.
+func (m *LMModel) Prefill(states []*DecodeState, prompts [][]int) []*mat.Matrix {
+	if len(m.Dec) == 0 {
+		panic("transformer: Prefill requires at least one decoder layer")
+	}
+	if len(states) != len(prompts) {
+		panic(fmt.Sprintf("transformer: Prefill with %d states for %d prompts", len(states), len(prompts)))
+	}
+	for _, st := range states {
+		st.Reset()
+	}
+	outs := m.forwardPacked(prompts, states)
+	for i, st := range states {
+		st.pos = len(prompts[i])
+	}
+	return outs
+}
+
+// DecodeStep advances every sequence by one token: tokens[i] is the
+// token just emitted for states[i] (initially the argmax of the
+// prefill's last row). The batch's single new rows are packed into one
+// B x d_model matrix, so every Linear in the decoder stack still issues
+// one fused kernel product per layer, while attention reads the
+// per-sequence caches. Returns the packed B x vocab logits (row i
+// belongs to states[i]; a view valid until the model's next forward).
+// Logits are bit-identical to the last row of DecodeFull over the same
+// prefix.
+func (m *LMModel) DecodeStep(states []*DecodeState, tokens []int) *mat.Matrix {
+	if len(states) == 0 || len(states) != len(tokens) {
+		panic(fmt.Sprintf("transformer: DecodeStep with %d states for %d tokens", len(states), len(tokens)))
+	}
+	m.stepIDs = append(m.stepIDs[:0], tokens...)
+	x := m.Embed.Forward(m.stepIDs)
+	for i, st := range states {
+		if st.pos == 0 {
+			panic("transformer: DecodeStep before Prefill")
+		}
+		row := x.Row(i)
+		pe := m.Pos.Row(st.pos % m.Pos.Rows)
+		for j := range row {
+			row[j] += pe[j]
+		}
+	}
+	d := x
+	for li, dec := range m.Dec {
+		d = dec.DecodeStep(d, states, li)
+	}
+	logits := m.Proj.Forward(d)
+	for _, st := range states {
+		st.pos++
+	}
+	return logits
+}
+
+// EncodeBatch runs the embedding and encoder stack over the packed
+// prompts and returns an independent copy of the packed encoder memory
+// plus its offsets table — the frozen memory that Prefill computes
+// internally, exposed for the full-recompute reference path.
+func (m *LMModel) EncodeBatch(prompts [][]int) (*mat.Matrix, []int) {
+	m.flat, m.off = packIDs(prompts, m.flat, m.off)
+	x := m.Embed.Forward(m.flat)
+	addPositional(x, m.off, m.Pos)
+	h := x
+	for _, e := range m.Enc {
+		h = e.ForwardBatch(h, m.off)
+	}
+	return h.Clone(), append([]int(nil), m.off...)
+}
+
+// DecodeFull is the O(L²)-per-token full-recompute reference for the
+// cached decode path: it re-runs the decoder stack and output
+// projection over the packed full sequences (each prompt plus the
+// tokens generated so far) against a frozen packed encoder memory from
+// EncodeBatch, returning per-sequence logits (views, per the
+// ForwardBatch aliasing contract). The last row of sequence i is
+// bit-identical to DecodeStep's row i at the same position — the
+// equivalence the decode tests and benchmarks pin.
+func (m *LMModel) DecodeFull(seqs [][]int, memory *mat.Matrix, memOff []int) []*mat.Matrix {
+	if len(m.Dec) == 0 {
+		panic("transformer: DecodeFull requires at least one decoder layer")
+	}
+	m.refFlat, m.refOff = packIDs(seqs, m.refFlat, m.refOff)
+	x := m.Embed.Forward(m.refFlat)
+	addPositional(x, m.refOff, m.Pos)
+	d := mat.EnsureShape(&m.decIn, m.reuse, x.Rows, x.Cols)
+	d.CopyFrom(x)
+	for _, dec := range m.Dec {
+		d = dec.ForwardBatch(d, memory, m.refOff, memOff)
+	}
+	return splitRows(m.Proj.Forward(d), m.refOff)
+}
+
+// DecodeStep runs the block on one new token row per sequence (x is
+// B x dim), reading and extending the per-sequence caches of decoder
+// layer li: causal self-attention appends the new K/V row and attends
+// the whole cache; cross-attention attends the frozen prompt memory.
+func (d *DecoderLayer) DecodeStep(x *mat.Matrix, states []*DecodeState, li int) *mat.Matrix {
+	d.decSelf = d.decSelf[:0]
+	d.decCross = d.decCross[:0]
+	for _, st := range states {
+		d.decSelf = append(d.decSelf, &st.self[li])
+		d.decCross = append(d.decCross, &st.cross[li])
+	}
+	a := d.SelfAttn.DecodeStep(x, d.decSelf, true)
+	a.Add(x)
+	h1 := d.LN1.Forward(a)
+
+	c := d.CrossAttn.DecodeStep(h1, d.decCross, false)
+	c.Add(h1)
+	h2 := d.LN2.Forward(c)
+
+	f := d.FF.Forward(h2)
+	f.Add(h2)
+	return d.LN3.Forward(f)
+}
+
+// harvestKV copies the projected K/V rows of the block's last
+// ForwardBatch call (a prefill) into the per-sequence caches of decoder
+// layer li.
+func (d *DecoderLayer) harvestKV(states []*DecodeState, li int) {
+	d.SelfAttn.harvestKV(states, li, false)
+	d.CrossAttn.harvestKV(states, li, true)
+}
+
+// harvestKV appends the last ForwardBatch call's projected key/value
+// rows into each sequence's cache (sequence s owns packed rows
+// [kvOff[s], kvOff[s+1])). Must run before the block's Linears execute
+// again: with buffer reuse on, the projections live in reusable
+// buffers.
+func (a *MultiHeadAttention) harvestKV(states []*DecodeState, li int, cross bool) {
+	for s := 0; s+1 < len(a.kvOff); s++ {
+		c := &states[s].self[li]
+		if cross {
+			c = &states[s].cross[li]
+		}
+		c.appendRows(a.k, a.v, a.kvOff[s], a.kvOff[s+1])
+	}
+}
+
+// DecodeStep is the cached variant of ForwardBatch: x packs one new
+// query row per sequence (B x dim), so WQ (and, for self-attention, WK
+// and WV) still execute as one fused kernel product over the whole
+// batch, while the score/value work per sequence touches only its own
+// cache — causal masking degenerates to "attend to own cache only".
+// When appendKV is set (causal self-attention) the new K/V rows are
+// appended to the caches before attending, so the new token sees
+// itself; cross-attention passes false and reads the frozen caches.
+// Returns the B x dim context rows through WO.
+func (a *MultiHeadAttention) DecodeStep(x *mat.Matrix, caches []*KVCache, appendKV bool) *mat.Matrix {
+	if len(caches) != x.Rows {
+		panic(fmt.Sprintf("transformer: DecodeStep with %d caches for %d rows", len(caches), x.Rows))
+	}
+	q := a.WQ.Forward(x)
+	if appendKV {
+		k := a.WK.Forward(x)
+		v := a.WV.Forward(x)
+		for s, c := range caches {
+			c.appendRows(k, v, s, s+1)
+		}
+	}
+	concat := mat.EnsureShape(&a.concat, a.reuse, x.Rows, a.Dim)
+	a.decodeAttend(concat, q, caches)
+	return a.WO.Forward(concat)
+}
+
+// decodeAttend computes per-head attention of each sequence's single
+// query row over its cached K/V rows, writing context rows into dst.
+// The arithmetic replicates the batched path operation for operation —
+// full dot products in ascending feature order then one scale multiply
+// (MatMulT + Scale), the SoftmaxRows loop, and ascending-row value
+// accumulation with MatMul's zero skip — so cached scores and context
+// are bit-identical to the block-diagonal batch computation over the
+// same rows.
+func (a *MultiHeadAttention) decodeAttend(dst, q *mat.Matrix, caches []*KVCache) {
+	maxRows := 0
+	for _, c := range caches {
+		if n := c.capRows(); n > maxRows {
+			maxRows = n
+		}
+	}
+	a.decScores = mat.GrowFloats(a.decScores, maxRows)
+	scale := 1 / math.Sqrt(float64(a.HeadDim))
+	hd := a.HeadDim
+	for h := 0; h < a.Heads; h++ {
+		off := h * hd
+		for s, c := range caches {
+			rows := c.Rows()
+			qrow := q.Row(s)[off : off+hd]
+			scores := a.decScores[:rows]
+			for j := 0; j < rows; j++ {
+				krow := c.k[j*c.dim+off : j*c.dim+off+hd]
+				var sum float64
+				for cc, qv := range qrow {
+					sum += qv * krow[cc]
+				}
+				scores[j] = sum * scale
+			}
+			maxv := scores[0]
+			for _, v := range scores[1:] {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var sum float64
+			for j, v := range scores {
+				e := math.Exp(v - maxv)
+				scores[j] = e
+				sum += e
+			}
+			inv := 1 / sum
+			for j := range scores {
+				scores[j] *= inv
+			}
+			out := dst.Row(s)[off : off+hd]
+			for cc := range out {
+				out[cc] = 0
+			}
+			for j := 0; j < rows; j++ {
+				sv := scores[j]
+				if sv == 0 {
+					continue
+				}
+				vrow := c.v[j*c.dim+off : j*c.dim+off+hd]
+				for cc, vv := range vrow {
+					out[cc] += sv * vv
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package transformer_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rt3/internal/mat"
+	"rt3/internal/transformer"
+)
+
+// decodeCfg is the decode-test topology: two encoder layers (the
+// paper's LM shape) and two decoder layers, so the multi-layer cache
+// path — where layer l+1's K/V come from layer l's outputs — is
+// exercised, not just the single-decoder special case.
+var decodeCfg = transformer.Config{
+	Vocab: 40, Dim: 16, Heads: 4, FFHidden: 24, EncLayers: 2, DecLayers: 2, SeqLen: 12,
+}
+
+func newDecodeModel(t testing.TB, reuse bool) *transformer.LMModel {
+	t.Helper()
+	m := transformer.NewLMModel(decodeCfg, rand.New(rand.NewSource(7)))
+	m.SetBufferReuse(reuse)
+	return m
+}
+
+// greedyRow returns the argmax of the last row of logits.
+func greedyRow(logits *mat.Matrix) int { return logits.ArgmaxRow(logits.Rows - 1) }
+
+// TestPrefillMatchesForwardBatch pins the prompt phase: Prefill is the
+// exact ForwardBatch computation (same logits, bit for bit), plus the
+// cache side effect.
+func TestPrefillMatchesForwardBatch(t *testing.T) {
+	prompts := raggedSeqs(decodeCfg.Vocab, []int{6, 1, 9, 3}, 11)
+	ref := newDecodeModel(t, false)
+	want := ref.ForwardBatch(prompts)
+
+	m := newDecodeModel(t, true)
+	states := make([]*transformer.DecodeState, len(prompts))
+	for i := range states {
+		states[i] = m.NewDecodeState()
+	}
+	got := m.Prefill(states, prompts)
+	for i := range prompts {
+		if !mat.Equal(got[i], want[i], 0) {
+			t.Fatalf("prompt %d: prefill logits differ from ForwardBatch", i)
+		}
+		if states[i].Pos() != len(prompts[i]) {
+			t.Fatalf("prompt %d: state pos %d, want %d", i, states[i].Pos(), len(prompts[i]))
+		}
+	}
+}
+
+// TestDecodeStepBitIdenticalToFullRecompute is the tentpole invariant:
+// generating N tokens through the cached DecodeStep path produces, at
+// every step, logits bit-identical to re-running the whole decoder
+// stack over the growing sequence against the frozen prompt memory
+// (DecodeFull) — with and without buffer reuse, over ragged prompts.
+func TestDecodeStepBitIdenticalToFullRecompute(t *testing.T) {
+	for _, reuse := range []bool{false, true} {
+		name := "fresh"
+		if reuse {
+			name = "reuse"
+		}
+		t.Run(name, func(t *testing.T) {
+			prompts := raggedSeqs(decodeCfg.Vocab, []int{5, 1, 8, 3, 6}, 13)
+			m := newDecodeModel(t, reuse)
+			ref := newDecodeModel(t, reuse)
+
+			memory, memOff := ref.EncodeBatch(prompts)
+			states := make([]*transformer.DecodeState, len(prompts))
+			for i := range states {
+				states[i] = m.NewDecodeState()
+			}
+			outs := m.Prefill(states, prompts)
+			tokens := make([]int, len(prompts))
+			seqs := make([][]int, len(prompts))
+			for i := range prompts {
+				tokens[i] = greedyRow(outs[i])
+				seqs[i] = append(append([]int(nil), prompts[i]...), tokens[i])
+			}
+
+			const genLen = 10
+			for step := 0; step < genLen; step++ {
+				logits := m.DecodeStep(states, tokens)
+				refs := ref.DecodeFull(seqs, memory, memOff)
+				for i := range prompts {
+					got := logits.RowSpan(i, i+1)
+					want := refs[i].RowSpan(refs[i].Rows-1, refs[i].Rows)
+					if !mat.Equal(got, want, 0) {
+						t.Fatalf("step %d seq %d: cached logits differ from full recompute", step, i)
+					}
+				}
+				for i := range prompts {
+					tokens[i] = logits.ArgmaxRow(i)
+					seqs[i] = append(seqs[i], tokens[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeStateRecycle pins the free-list contract: a state that
+// already served one generation, passed back to Prefill, behaves
+// exactly like a fresh one (and keeps its reserved storage).
+func TestDecodeStateRecycle(t *testing.T) {
+	m := newDecodeModel(t, true)
+	first := raggedSeqs(decodeCfg.Vocab, []int{7, 4}, 17)
+	states := []*transformer.DecodeState{m.NewDecodeState(), m.NewDecodeState()}
+	outs := m.Prefill(states, first)
+	tokens := []int{greedyRow(outs[0]), greedyRow(outs[1])}
+	for step := 0; step < 6; step++ {
+		logits := m.DecodeStep(states, tokens)
+		tokens[0], tokens[1] = logits.ArgmaxRow(0), logits.ArgmaxRow(1)
+	}
+
+	// recycle onto different prompts and compare against fresh states
+	second := raggedSeqs(decodeCfg.Vocab, []int{3, 9}, 19)
+	fresh := []*transformer.DecodeState{m.NewDecodeState(), m.NewDecodeState()}
+	wantOuts := m.Prefill(fresh, second)
+	wantTok := []int{greedyRow(wantOuts[0]), greedyRow(wantOuts[1])}
+	var wantLogits []*mat.Matrix
+	for step := 0; step < 6; step++ {
+		logits := m.DecodeStep(fresh, wantTok)
+		wantLogits = append(wantLogits, logits.Clone())
+		wantTok[0], wantTok[1] = logits.ArgmaxRow(0), logits.ArgmaxRow(1)
+	}
+
+	gotOuts := m.Prefill(states, second)
+	gotTok := []int{greedyRow(gotOuts[0]), greedyRow(gotOuts[1])}
+	if gotTok[0] != greedyRow(wantOuts[0]) || gotTok[1] != greedyRow(wantOuts[1]) {
+		t.Fatalf("recycled prefill tokens %v differ from fresh", gotTok)
+	}
+	for step := 0; step < 6; step++ {
+		logits := m.DecodeStep(states, gotTok)
+		if !mat.Equal(logits, wantLogits[step], 0) {
+			t.Fatalf("step %d: recycled state logits differ from fresh state", step)
+		}
+		gotTok[0], gotTok[1] = logits.ArgmaxRow(0), logits.ArgmaxRow(1)
+	}
+}
+
+// TestDecodeCacheGrowth decodes far past the initial reservation so the
+// KV caches cross the mat.GrowFloats reallocation boundary mid-
+// generation; cached contents must survive the move (logits keep
+// matching the full-recompute reference).
+func TestDecodeCacheGrowth(t *testing.T) {
+	prompts := raggedSeqs(decodeCfg.Vocab, []int{4, 2}, 23)
+	m := newDecodeModel(t, true)
+	ref := newDecodeModel(t, true)
+
+	memory, memOff := ref.EncodeBatch(prompts)
+	states := []*transformer.DecodeState{m.NewDecodeState(), m.NewDecodeState()}
+	// deliberately tiny reservation: growth must happen during decode
+	states[0].Reserve(1)
+	outs := m.Prefill(states, prompts)
+	tokens := []int{greedyRow(outs[0]), greedyRow(outs[1])}
+	seqs := [][]int{
+		append(append([]int(nil), prompts[0]...), tokens[0]),
+		append(append([]int(nil), prompts[1]...), tokens[1]),
+	}
+	const genLen = 40 // well past any doubling boundary
+	for step := 0; step < genLen; step++ {
+		logits := m.DecodeStep(states, tokens)
+		refs := ref.DecodeFull(seqs, memory, memOff)
+		for i := range seqs {
+			got := logits.RowSpan(i, i+1)
+			want := refs[i].RowSpan(refs[i].Rows-1, refs[i].Rows)
+			if !mat.Equal(got, want, 0) {
+				t.Fatalf("step %d seq %d: logits diverged after cache growth", step, i)
+			}
+		}
+		for i := range seqs {
+			tokens[i] = logits.ArgmaxRow(i)
+			seqs[i] = append(seqs[i], tokens[i])
+		}
+	}
+}
+
+// TestDecodeTruncateReplay pins the rollback primitive: truncating a
+// state and replaying the same tokens reproduces the same logits.
+func TestDecodeTruncateReplay(t *testing.T) {
+	prompts := raggedSeqs(decodeCfg.Vocab, []int{5}, 29)
+	m := newDecodeModel(t, true)
+	states := []*transformer.DecodeState{m.NewDecodeState()}
+	outs := m.Prefill(states, prompts)
+	tok := greedyRow(outs[0])
+
+	var fed []int
+	var want []*mat.Matrix
+	for step := 0; step < 5; step++ {
+		fed = append(fed, tok)
+		logits := m.DecodeStep(states, []int{tok})
+		want = append(want, logits.Clone())
+		tok = logits.ArgmaxRow(0)
+	}
+
+	states[0].TruncateTo(len(prompts[0]))
+	for step := 0; step < 5; step++ {
+		logits := m.DecodeStep(states, []int{fed[step]})
+		if !mat.Equal(logits, want[step], 0) {
+			t.Fatalf("replayed step %d differs after TruncateTo", step)
+		}
+	}
+}
+
+// TestDecodeStepAllocationFree is the steady-state allocation contract:
+// with buffer reuse on and the caches reserved, a fused decode step
+// allocates nothing (the step is truncated away after each run so the
+// measured state never grows past its reservation).
+func TestDecodeStepAllocationFree(t *testing.T) {
+	prompts := raggedSeqs(decodeCfg.Vocab, []int{6, 3, 5, 4, 6, 2, 7, 5}, 31)
+	m := newDecodeModel(t, true)
+	states := make([]*transformer.DecodeState, len(prompts))
+	tokens := make([]int, len(prompts))
+	for i := range states {
+		states[i] = m.NewDecodeState()
+	}
+	for i, st := range states {
+		st.Reserve(len(prompts[i]) + 4)
+	}
+	outs := m.Prefill(states, prompts)
+	for i := range tokens {
+		tokens[i] = greedyRow(outs[i])
+	}
+	// warm step settles every reusable buffer at the decode shape
+	m.DecodeStep(states, tokens)
+	for _, st := range states {
+		st.TruncateTo(st.Pos() - 1)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		m.DecodeStep(states, tokens)
+		for _, st := range states {
+			st.TruncateTo(st.Pos() - 1)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeStep allocates %.1f times per step, want 0", allocs)
+	}
+}
+
+// TestDecodeRequiresDecoder: an encoder-only model has no incremental
+// decode path (its logits depend bidirectionally on the whole
+// sequence), and must say so loudly.
+func TestDecodeRequiresDecoder(t *testing.T) {
+	cfg := decodeCfg
+	cfg.DecLayers = 0
+	m := transformer.NewLMModel(cfg, rand.New(rand.NewSource(3)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDecodeState on an encoder-only model did not panic")
+		}
+	}()
+	m.NewDecodeState()
+}
+
+// TestPositionalEncodingCached pins the memoized position table: same
+// shape returns the same shared instance, different shapes do not, and
+// the cached values are the sinusoid definition.
+func TestPositionalEncodingCached(t *testing.T) {
+	a := transformer.PositionalEncoding(9, 6)
+	b := transformer.PositionalEncoding(9, 6)
+	if a != b {
+		t.Fatal("PositionalEncoding(9,6) returned distinct instances")
+	}
+	if c := transformer.PositionalEncoding(10, 6); c == a {
+		t.Fatal("different seqLen shares a table")
+	}
+	// spot-check the definition: pos 0 is sin(0)=0 / cos(0)=1 interleaved
+	for j := 0; j < 6; j++ {
+		want := 0.0
+		if j%2 == 1 {
+			want = 1.0
+		}
+		if got := a.At(0, j); got != want {
+			t.Fatalf("pe[0][%d] = %g, want %g", j, got, want)
+		}
+	}
+}

@@ -124,6 +124,10 @@ type DecoderLayer struct {
 	LN1       *nn.LayerNorm
 	LN2       *nn.LayerNorm
 	LN3       *nn.LayerNorm
+
+	// incremental-decoding scratch (see decode.go): reusable per-step
+	// cache-pointer slices, one entry per active sequence.
+	decSelf, decCross []*KVCache
 }
 
 // NewDecoderLayer constructs one decoder block.

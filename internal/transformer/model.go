@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"rt3/internal/mat"
 	"rt3/internal/nn"
@@ -24,9 +25,23 @@ type Config struct {
 	Classes   int // output classes (classifier only)
 }
 
+// posCache memoizes sinusoidal position tables per (seqLen, dim): the
+// table is a pure function of its shape, so every model construction
+// (and every serving replica cloned from a checkpoint) shares one
+// read-only instance instead of recomputing the full sin/cos sweep.
+var posCache sync.Map // posKey -> *mat.Matrix
+
+type posKey struct{ seqLen, dim int }
+
 // PositionalEncoding returns the fixed sinusoidal position table
-// (seqLen x dim) from "Attention Is All You Need".
+// (seqLen x dim) from "Attention Is All You Need". Tables are cached
+// per shape and shared across callers: the returned matrix must be
+// treated as read-only.
 func PositionalEncoding(seqLen, dim int) *mat.Matrix {
+	key := posKey{seqLen, dim}
+	if v, ok := posCache.Load(key); ok {
+		return v.(*mat.Matrix)
+	}
 	pe := mat.New(seqLen, dim)
 	for pos := 0; pos < seqLen; pos++ {
 		for i := 0; i < dim; i++ {
@@ -38,7 +53,8 @@ func PositionalEncoding(seqLen, dim int) *mat.Matrix {
 			}
 		}
 	}
-	return pe
+	v, _ := posCache.LoadOrStore(key, pe)
+	return v.(*mat.Matrix)
 }
 
 // LMModel is the encoder-decoder next-word-prediction Transformer used
@@ -60,6 +76,12 @@ type LMModel struct {
 	flat  []int
 	decIn *mat.Matrix
 	reuse bool
+
+	// incremental-decoding scratch (see decode.go): the one-token-per-
+	// sequence id batch of DecodeStep and the reference path's packing.
+	stepIDs []int
+	refOff  []int
+	refFlat []int
 }
 
 // NewLMModel builds the language model described by cfg.
@@ -161,6 +183,15 @@ func (m *LMModel) Forward(ids []int) *mat.Matrix {
 // the next forward pass when buffer reuse is on (the serving engine
 // copies at its boundary), and independent of each other otherwise.
 func (m *LMModel) ForwardBatch(seqs [][]int) []*mat.Matrix {
+	return m.forwardPacked(seqs, nil)
+}
+
+// forwardPacked is the shared packed forward pass behind ForwardBatch
+// and Prefill: when states is non-nil (one per sequence), every decoder
+// layer's projected key/value rows are harvested into the per-sequence
+// KV caches as the pass runs, so the prefill that seeds a decode cache
+// is the exact same computation as a plain forward.
+func (m *LMModel) forwardPacked(seqs [][]int, states []*DecodeState) []*mat.Matrix {
 	m.flat, m.off = packIDs(seqs, m.flat, m.off)
 	x := m.Embed.Forward(m.flat)
 	addPositional(x, m.off, m.Pos)
@@ -173,8 +204,11 @@ func (m *LMModel) ForwardBatch(seqs [][]int) []*mat.Matrix {
 	if len(m.Dec) > 0 {
 		d = mat.EnsureShape(&m.decIn, m.reuse, x.Rows, x.Cols)
 		d.CopyFrom(x)
-		for _, dec := range m.Dec {
+		for li, dec := range m.Dec {
 			d = dec.ForwardBatch(d, memory, m.off, m.off)
+			if states != nil {
+				dec.harvestKV(states, li)
+			}
 		}
 	}
 	return splitRows(m.Proj.Forward(d), m.off)
