@@ -6,9 +6,10 @@
 //
 //	rt3bench -exp all
 //	rt3bench -exp tab3 -scale small
-//	rt3bench -exp tab1|tab2|tab3|tab4|fig3a|fig3bc|fig4|fig5|kernels|decode
+//	rt3bench -exp tab1|tab2|tab3|tab4|fig3a|fig3bc|fig4|fig5|kernels|decode|autotune
 //	rt3bench -exp kernels -kernel pattern,dense -workers 4
 //	rt3bench -exp decode -decode-prompt 64 -decode-gen 64 -decode-batch 8
+//	rt3bench -exp autotune -autotune-duration 3s -autotune-rps 300
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rt3bench: ")
-	exp := flag.String("exp", "all", "experiment: all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels, decode")
+	exp := flag.String("exp", "all", "experiment: all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels, decode, autotune")
 	scaleFlag := flag.String("scale", "tiny", "model scale: tiny or small")
 	kernels := flag.String("kernel", "all", "kernels experiment: comma-separated registry formats (dense, coo, csr, blockcsr, pattern) or all")
 	workers := flag.Int("workers", 1, "kernels experiment: parallel executor width per kernel")
@@ -37,6 +38,13 @@ func main() {
 	decGen := flag.Int("decode-gen", 64, "decode experiment: tokens generated per sequence")
 	decBatch := flag.Int("decode-batch", 8, "decode experiment: largest fused decode batch (table sweeps 1/4/this)")
 	decSparsity := flag.Float64("decode-sparsity", 0.5, "decode experiment: pattern sparsity")
+	atDuration := flag.Duration("autotune-duration", 2*time.Second, "autotune experiment: load duration per arm")
+	atRPS := flag.Float64("autotune-rps", 600, "autotune experiment: base arrival rate (bursts multiply it)")
+	atBurst := flag.Float64("autotune-burst", 4, "autotune experiment: burst rate multiplier")
+	atPeriod := flag.Duration("autotune-period", 400*time.Millisecond, "autotune experiment: burst square-wave period")
+	atBattery := flag.Float64("autotune-battery", 0.6, "autotune experiment: battery capacity in joules")
+	atTarget := flag.Float64("autotune-target", 15, "autotune experiment: latency objective in ms")
+	atSeed := flag.Int64("autotune-seed", 1, "autotune experiment: rng seed (decision trace is reproducible from it)")
 	flag.Parse()
 
 	scale := experiments.ScaleTiny
@@ -147,9 +155,20 @@ func main() {
 			sparsity: *decSparsity,
 		})
 	})
+	run("autotune", func() error {
+		return runAutotuneBench(autotuneBenchSpec{
+			duration:    *atDuration,
+			rps:         *atRPS,
+			burstPeriod: *atPeriod,
+			burstFactor: *atBurst,
+			batteryJ:    *atBattery,
+			targetMS:    *atTarget,
+			seed:        *atSeed,
+		})
+	})
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels or decode)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels, decode or autotune)\n", *exp)
 		os.Exit(2)
 	}
 }

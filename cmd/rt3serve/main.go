@@ -5,22 +5,37 @@
 // deployment summary with a smoke inference per level (default) or
 // replays an open-loop traffic ramp against a simulated draining
 // battery (-load), reporting per-level p50/p95/p99 latency, throughput,
-// live switch count and total reconfiguration overhead, with every
-// response verified against masked dense execution.
+// live switch count and total reconfiguration overhead. In
+// classification mode every response is verified against masked dense
+// execution (-verify, on by default; generation mode has no per-response
+// dense reference and skips it).
 //
 // With -gen the deployment becomes the encoder-decoder LM and the
 // server runs KV-cached incremental decoding with continuous batching:
 // requests are generation prompts, each admitted sequence prefills once
 // and then rides fused one-token decode steps until EOS or its token
-// budget, and live level switches drain at step granularity.
+// budget, and live level switches drain at step granularity. The smoke
+// path samples prompt lengths in [1, -gen-prompt] and budgets in
+// [1, -gen-tokens]; the load path samples both uniformly from
+// [max/2, max].
+//
+// With -autotune (requires -load) the level is driven by the closed-loop
+// RL/DVFS controller instead of a -policy: every -autotune-every tick it
+// converts the live telemetry window into the controller's state space,
+// picks a level epsilon-greedily, learns online from the observed
+// reward, and prints its decision log after the run. Works in both
+// classification and generation mode — in the latter, switches land
+// mid-generation at decode-step granularity.
 //
 // Usage:
 //
 //	rt3serve
 //	rt3serve -load
 //	rt3serve -load -policy rl -duration 3s -rps-start 200 -rps-end 900
+//	rt3serve -load -autotune
 //	rt3serve -gen
 //	rt3serve -gen -load -gen-tokens 24 -rps-start 100 -rps-end 400
+//	rt3serve -gen -load -autotune -duration 3s
 package main
 
 import (
@@ -59,7 +74,11 @@ func main() {
 		kworkers = flag.Int("kernel-workers", 1, "parallel executor width inside each packed kernel")
 		batch    = flag.Int("batch", 8, "max dynamic batch size")
 		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "batch flush deadline")
-		policyN  = flag.String("policy", "governor", "level policy: governor or rl")
+		policyN  = flag.String("policy", "governor", "level policy for -load: governor or rl")
+		autotune = flag.Bool("autotune", false, "closed-loop RL/DVFS controller: drive live level switches from the telemetry window, learning online (requires -load; supersedes -policy)")
+		atEvery  = flag.Duration("autotune-every", 10*time.Millisecond, "autotune control tick period")
+		atLog    = flag.Int("autotune-log", 12, "autotune: decision-log tail length printed after the run")
+		simDVFS  = flag.Bool("sim-dvfs", false, "stretch execution to the active level's modeled frequency (f_fastest/f_level), so slower levels show real latency pressure")
 		batteryJ = flag.Float64("battery-j", 0.25, "simulated battery capacity in joules (0 disables)")
 		targetMS = flag.Float64("target-ms", 50, "latency objective fed to the policy")
 		seed     = flag.Int64("seed", 1, "rng seed")
@@ -84,13 +103,21 @@ func main() {
 		eng.Format(), eng.Replicas(), *kworkers, mode)
 
 	// smoke mode switches levels manually; only the load demo wants a
-	// policy fighting for the level
+	// policy (or the closed-loop controller) fighting for the level
 	var pol serve.Policy
+	var atCfg *serve.AutotuneConfig
+	if *autotune && !*load {
+		log.Fatal("-autotune requires -load (the smoke path switches levels manually)")
+	}
 	if *load {
-		var err error
-		pol, err = buildPolicy(*policyN, eng, *seed)
-		if err != nil {
-			log.Fatal(err)
+		if *autotune {
+			atCfg = &serve.AutotuneConfig{Every: *atEvery, Seed: *seed}
+		} else {
+			var err error
+			pol, err = buildPolicy(*policyN, eng, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 	srv := serve.New(eng, serve.Config{
@@ -99,7 +126,9 @@ func main() {
 		QueueCap:     4096,
 		Policy:       pol,
 		PolicyEvery:  10 * time.Millisecond,
+		Autotune:     atCfg,
 		TargetMS:     *targetMS,
+		SimDVFS:      *simDVFS,
 		BatteryJ:     *batteryJ,
 		Generate:     *gen,
 		MaxGenTokens: *genTok,
@@ -116,8 +145,12 @@ func main() {
 		return
 	}
 
+	controller := *policyN
+	if *autotune {
+		controller = "closed-loop autotune"
+	}
 	fmt.Printf("replaying %.0f->%.0f req/s over %s (policy %s, battery %.2f J)\n\n",
-		*rpsStart, *rpsEnd, *duration, *policyN, *batteryJ)
+		*rpsStart, *rpsEnd, *duration, controller, *batteryJ)
 	report, err := serve.RunLoad(srv, serve.LoadSpec{
 		Duration:     *duration,
 		StartRPS:     *rpsStart,
@@ -138,6 +171,7 @@ func main() {
 	fmt.Print(report)
 	printBatchStats(eng)
 	printDecodeStats(eng)
+	printAutotune(srv, *atLog)
 	if report.Switches == 0 {
 		log.Fatal("demo expected at least one live level switch; raise -duration or lower -battery-j")
 	}
@@ -237,6 +271,59 @@ func printDecodeStats(eng *serve.Engine) {
 		st.Prefills, st.PrefillSeq, st.PrefillRows, st.Steps, st.Tokens)
 	fmt.Printf("  cache hits: %d prefix rows served from KV caches (%.1f rows/token not recomputed), %d states for %d sequences (free-list reuse)\n",
 		st.CachedRows, float64(st.CachedRows)/float64(st.Tokens), st.States, st.PrefillSeq)
+}
+
+// printAutotune renders the closed-loop controller's run summary plus a
+// tail of its live decision log (the full trace is replayable offline
+// via serve.ReplayTrace — see docs/BENCHMARKS.md).
+func printAutotune(srv *serve.Server, tail int) {
+	tr, ok := srv.AutotuneTrace()
+	if !ok || len(tr.Decisions) == 0 {
+		return
+	}
+	eng := srv.Engine()
+	perLevel := make([]int, eng.NumLevels())
+	explored, switched, violations := 0, 0, 0
+	var rewardSum float64
+	for _, d := range tr.Decisions {
+		perLevel[d.Level]++
+		if d.Explore {
+			explored++
+		}
+		if d.Switched {
+			switched++
+		}
+		if !d.TimingMet {
+			violations++
+		}
+		rewardSum += d.Reward
+	}
+	n := len(tr.Decisions)
+	fmt.Printf("closed-loop autotune: %d control ticks (seed %d), %d explored, %d switches applied, %d window violations, mean reward %.3f\n",
+		n, tr.Seed, explored, switched, violations, rewardSum/float64(n))
+	fmt.Print("  level decisions:")
+	for i, c := range perLevel {
+		fmt.Printf("  %s %d", eng.LevelName(i), c)
+	}
+	fmt.Println()
+	if tail > n {
+		tail = n
+	}
+	if tail < 0 {
+		tail = 0
+	}
+	fmt.Printf("  last %d decisions:\n", tail)
+	fmt.Printf("  %6s %6s %-4s %8s %8s %9s %8s %5s %7s\n",
+		"tick", "state", "lvl", "p99_ms", "battery", "fill", "reward", "expl", "switch")
+	for _, d := range tr.Decisions[n-tail:] {
+		sw := "-"
+		if d.Switched {
+			sw = fmt.Sprintf("%.2fms", d.SwitchCostMS)
+		}
+		fmt.Printf("  %6d %6d %-4s %8.2f %7.0f%% %8.0f%% %8.3f %5v %7s\n",
+			d.Tick, d.State, eng.LevelName(d.Level), d.Tel.Window.P99MS,
+			d.Tel.BatteryFraction*100, d.Tel.Window.FillRatio*100, d.Reward, d.Explore, sw)
+	}
 }
 
 // buildPolicy resolves the -policy flag.

@@ -67,4 +67,6 @@ func main() {
 	switches, switchMS := rec.Stats()
 	fmt.Printf("battery empty after %d inferences, %d switches (%.2f ms total switch time)\n",
 		runs, switches, switchMS)
+	fmt.Println("\n(live version under real traffic: `go run ./cmd/rt3serve -load`;" +
+		" closed-loop RL instead of the scripted governor: `go run ./cmd/rt3serve -load -autotune`)")
 }

@@ -142,3 +142,34 @@ func TestPaperLatencyRegime(t *testing.T) {
 		t.Fatalf("dense latency %g ms outside plausible regime", lat)
 	}
 }
+
+func TestLevelCosts(t *testing.T) {
+	pm := dvfs.DefaultPowerModel()
+	costs := LevelCosts(dvfs.OdroidXU3Levels, pm, 2e6)
+	if len(costs) != len(dvfs.OdroidXU3Levels) {
+		t.Fatalf("got %d costs, want %d", len(costs), len(dvfs.OdroidXU3Levels))
+	}
+	// Table I is slowest-first, so relative latency must fall and
+	// absolute energy rise toward the last (fastest) level; the
+	// normalization anchor is index 0.
+	if costs[0].RelLatency != 1 || costs[0].RelEnergy != 1 {
+		t.Fatalf("anchor level not normalized: %+v", costs[0])
+	}
+	for i := 1; i < len(costs); i++ {
+		if costs[i].LatencyMS >= costs[i-1].LatencyMS {
+			t.Fatalf("latency not decreasing with frequency: %v >= %v", costs[i].LatencyMS, costs[i-1].LatencyMS)
+		}
+		if costs[i].EnergyJ <= 0 || costs[i].LatencyMS <= 0 {
+			t.Fatalf("non-positive cost at %d: %+v", i, costs[i])
+		}
+	}
+	// the fastest level must cost the most energy per inference (higher
+	// V and f both raise dynamic energy per cycle)
+	last := costs[len(costs)-1]
+	if last.EnergyJ <= costs[0].EnergyJ {
+		t.Fatalf("fastest level energy %g not above slowest %g", last.EnergyJ, costs[0].EnergyJ)
+	}
+	if LevelCosts(nil, pm, 2e6) != nil {
+		t.Fatal("empty levels should return nil")
+	}
+}

@@ -1,0 +1,43 @@
+package hwsim
+
+import "rt3/internal/dvfs"
+
+// LevelCost is the modeled per-inference cost of running a fixed cycle
+// count at one V/F level: absolute latency and energy from the analytic
+// models, plus both normalized against the fastest level. The serving
+// autotuner feeds RelEnergy into the online reward (cheap levels earn
+// the energy bonus) and the autotune benchmark prints the table so the
+// static/governor/closed-loop comparison is grounded in the same model.
+type LevelCost struct {
+	Level     dvfs.Level
+	LatencyMS float64
+	EnergyJ   float64
+	// RelLatency and RelEnergy are this level's cost relative to
+	// levels[0], the fastest: RelLatency >= 1 and RelEnergy <= 1 as the
+	// level index grows (slower levels take longer but run at a lower
+	// voltage, so each unit of work costs less energy — the DVFS trade).
+	RelLatency float64
+	RelEnergy  float64
+}
+
+// LevelCosts profiles a fixed per-inference cycle count across the
+// deployed levels (fastest first, the bundle convention).
+func LevelCosts(levels []dvfs.Level, pm dvfs.PowerModel, cycles float64) []LevelCost {
+	if len(levels) == 0 {
+		return nil
+	}
+	out := make([]LevelCost, len(levels))
+	for i, l := range levels {
+		out[i] = LevelCost{
+			Level:     l,
+			LatencyMS: LatencyMS(cycles, l),
+			EnergyJ:   pm.InferenceEnergy(l, cycles),
+		}
+	}
+	base := out[0]
+	for i := range out {
+		out[i].RelLatency = out[i].LatencyMS / base.LatencyMS
+		out[i].RelEnergy = out[i].EnergyJ / base.EnergyJ
+	}
+	return out
+}

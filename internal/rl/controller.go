@@ -23,6 +23,13 @@ type Config struct {
 	Levels      int // N voltage/frequency levels
 	K           int // patterns chosen per level
 	LR          float64
+	// States, when > 0, adds that many learned context embeddings: the
+	// serving-time closed-loop controller starts each one-step episode
+	// from the embedding of a quantized telemetry state (see StateSpace)
+	// instead of the start token, so the policy can condition its level
+	// choice on what the live window looks like. 0 (the search-time
+	// default) keeps the unconditioned behaviour.
+	States int
 }
 
 // Validate reports configuration errors.
@@ -35,6 +42,9 @@ func (c Config) Validate() error {
 	}
 	if c.LR <= 0 {
 		return fmt.Errorf("rl: LR must be positive, got %g", c.LR)
+	}
+	if c.States < 0 {
+		return fmt.Errorf("rl: States must be non-negative, got %d", c.States)
 	}
 	return nil
 }
@@ -82,7 +92,7 @@ func NewController(cfg Config, rng *rand.Rand) (*Controller, error) {
 	}
 	c := &Controller{
 		Cfg:   cfg,
-		embed: mat.New(1+maxAct, cfg.Hidden),
+		embed: mat.New(1+maxAct+cfg.States, cfg.Hidden),
 		wh:    mat.New(cfg.Hidden, cfg.Hidden),
 		bh:    make([]float64, cfg.Hidden),
 		woSet: mat.New(cfg.Hidden, cfg.NumSets),
@@ -146,9 +156,41 @@ func (c *Controller) Greedy() *Episode {
 // (one per V/F level) without unrolling pattern choices; the returned
 // episode feeds Reinforce like any other.
 func (c *Controller) SampleSet(rng *rand.Rand) *Episode {
+	return c.SampleSetFrom(-1, rng)
+}
+
+// stateInput maps a quantized context state to its embedding row; a
+// negative state (or an unconfigured controller) falls back to the start
+// token, making SampleSetFrom(-1, rng) identical to SampleSet(rng).
+func (c *Controller) stateInput(state int) int {
+	if state < 0 || c.Cfg.States == 0 {
+		return 0
+	}
+	if state >= c.Cfg.States {
+		panic(fmt.Sprintf("rl: state %d out of range %d", state, c.Cfg.States))
+	}
+	return c.embed.Rows - c.Cfg.States + state
+}
+
+// SampleSetFrom draws a single set-head decision conditioned on a
+// quantized context state: the episode's one RNN step starts from the
+// state's learned embedding, so Reinforce updates both the head and the
+// embedding — the policy learns a per-state level preference. This is
+// the closed-loop serving path's sampler.
+func (c *Controller) SampleSetFrom(state int, rng *rand.Rand) *Episode {
 	ep := &Episode{}
 	h := make([]float64, c.Cfg.Hidden)
-	c.step(h, 0, true, rng, ep)
+	c.step(h, c.stateInput(state), true, rng, ep)
+	ep.SetChoices = []int{ep.steps[0].action}
+	return ep
+}
+
+// GreedySetFrom is the argmax counterpart of SampleSetFrom — the
+// exploitation arm of the serving-time epsilon-greedy loop.
+func (c *Controller) GreedySetFrom(state int) *Episode {
+	ep := &Episode{}
+	h := make([]float64, c.Cfg.Hidden)
+	c.stepArgmax(h, c.stateInput(state), true, ep)
 	ep.SetChoices = []int{ep.steps[0].action}
 	return ep
 }

@@ -93,6 +93,67 @@ func weightedAccuracy(in RewardInput) float64 {
 	return s
 }
 
+// OnlineRewardInput carries one observed telemetry window plus the
+// modeled cost of the level that produced it — the serving-time
+// counterpart of RewardInput, scored after the fact from live signals
+// instead of predicted ones.
+type OnlineRewardInput struct {
+	// Samples is the number of completions in the window. An empty
+	// window has no latency evidence: the latency term is skipped and
+	// only the energy shaping applies (idling on a cheap level is good).
+	Samples int
+	// P99MS is the window's p99 admission-to-completion latency;
+	// TargetMS the real-time constraint (<= 0 disables the latency term).
+	P99MS, TargetMS float64
+	// RelEnergy is the modeled per-inference energy of the level the
+	// window ran at, relative to the fastest level (1 at the fastest,
+	// < 1 for cheaper levels) — hwsim.LevelCosts supplies it.
+	RelEnergy float64
+	// BatteryFraction is the state of charge in [0, 1].
+	BatteryFraction float64
+	// EnergyWeight scales the low-power bonus (default 0.8 when 0).
+	EnergyWeight float64
+}
+
+// OnlineRewardResult breaks the online reward into its parts for the
+// decision trace.
+type OnlineRewardResult struct {
+	Reward      float64
+	TimingMet   bool    // target held (vacuously true with no evidence)
+	EnergyBonus float64 // the shaping term actually added
+}
+
+// OnlineReward adapts the shape of Eq. (1) to the closed control loop:
+//
+//	R = -1                      when the window's p99 violates the target
+//	R =  1 + B_e                when it holds
+//	R =  B_e                    when there is no latency evidence
+//
+// where B_e = w_e * (1 - RelEnergy) * (1 - battery + 0.2) is the energy
+// bonus — running below the fastest level's energy earns a reward that
+// grows as the battery drains, with a mild standing preference (0.2)
+// even at full charge. Like Eq. (1), the timing constraint dominates: a
+// violating window scores -1 with no energy offset, so the policy can
+// never trade a deadline for charge.
+func OnlineReward(in OnlineRewardInput) OnlineRewardResult {
+	w := in.EnergyWeight
+	if w == 0 {
+		w = 0.8
+	}
+	res := OnlineRewardResult{TimingMet: true}
+	if in.Samples > 0 && in.TargetMS > 0 && in.P99MS > in.TargetMS {
+		res.TimingMet = false
+		res.Reward = -1
+		return res
+	}
+	res.EnergyBonus = w * (1 - in.RelEnergy) * (1 - in.BatteryFraction + 0.2)
+	res.Reward = res.EnergyBonus
+	if in.Samples > 0 && in.TargetMS > 0 {
+		res.Reward++
+	}
+	return res
+}
+
 // normalizedRuns maps the total number of runs into [0, 1] via RunsNorm.
 func normalizedRuns(in RewardInput) float64 {
 	var total float64

@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rt3/internal/dvfs"
+	"rt3/internal/hwsim"
+	"rt3/internal/rl"
+)
+
+// AutotuneConfig tunes the closed-loop runtime controller. Zero values
+// pick the documented defaults; the zero struct is a working
+// configuration (online learning on, default state space, seed 0).
+type AutotuneConfig struct {
+	// Every is the control tick period (default 10ms): each tick samples
+	// the telemetry window, queries the policy, and applies a switch.
+	Every time.Duration
+	// Epsilon is the initial exploration rate of the epsilon-greedy loop
+	// (default 0.3); EpsilonDecay multiplies it every tick (default
+	// 0.995) down to EpsilonMin (default 0.02).
+	Epsilon, EpsilonDecay, EpsilonMin float64
+	// Frozen disables online learning: the policy is queried but never
+	// reinforced (replay and A/B runs want fixed weights). Default
+	// false — the controller learns from the live reward.
+	Frozen bool
+	// LR is the REINFORCE learning rate (default 0.05).
+	LR float64
+	// BaselineDecay is the EMA reward-baseline decay (default 0.7).
+	BaselineDecay float64
+	// EnergyWeight scales the online reward's low-power bonus
+	// (default 0.8).
+	EnergyWeight float64
+	// Hidden is the controller RNN width (default 8).
+	Hidden int
+	// Space quantizes telemetry into the controller's context states;
+	// the zero value selects rl.DefaultStateSpace.
+	Space rl.StateSpace
+	// Seed seeds the controller weights and the exploration stream; the
+	// decision trace is a deterministic function of (config, seed,
+	// telemetry sequence).
+	Seed int64
+	// TraceCap bounds retained decisions (default 65536). Once ticks are
+	// dropped the trace is no longer replayable — AutotuneTrace.Dropped
+	// records how many were lost.
+	TraceCap int
+}
+
+func (c AutotuneConfig) withDefaults() AutotuneConfig {
+	if c.Every <= 0 {
+		c.Every = 10 * time.Millisecond
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.3
+	}
+	if c.EpsilonDecay <= 0 {
+		c.EpsilonDecay = 0.995
+	}
+	if c.EpsilonMin <= 0 {
+		c.EpsilonMin = 0.02
+	}
+	if c.LR <= 0 {
+		c.LR = 0.05
+	}
+	if c.BaselineDecay <= 0 {
+		c.BaselineDecay = 0.7
+	}
+	if c.EnergyWeight <= 0 {
+		c.EnergyWeight = 0.8
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = 8
+	}
+	if c.Space == (rl.StateSpace{}) {
+		c.Space = rl.DefaultStateSpace()
+	}
+	if c.TraceCap <= 0 {
+		c.TraceCap = 65536
+	}
+	return c
+}
+
+// Telemetry is one sampled snapshot of the live serving signals the
+// controller decides on: the recorder's sliding latency/fill window,
+// queue depth, simulated battery charge, throughput rates differenced
+// over the last tick, and the level the window ran at. The autotune
+// loop samples it from the running server; tests construct it directly,
+// so decisions are exercisable without wall-clock time.
+type Telemetry struct {
+	Window          WindowStats
+	QueueDepth      int
+	BatteryFraction float64
+	Level           int     // active level when sampled
+	TargetMS        float64 // latency objective (0 disables the term)
+	CompletedPerSec float64 // completions/sec over the last tick
+	TokensPerSec    float64 // generated tokens/sec over the last tick
+}
+
+// AutotuneDecision records one control tick. Tick, Tel, State, Level,
+// Explore, Epsilon, Reward and TimingMet are produced by Autotuner.Step
+// and are the replay-checked surface; Switched and SwitchCostMS are
+// filled in by the live loop when the decision was applied as a switch.
+type AutotuneDecision struct {
+	Tick    int
+	Tel     Telemetry
+	State   int     // encoded rl state the decision conditioned on
+	Level   int     // level the policy chose
+	Explore bool    // exploration (sampled) vs exploitation (greedy)
+	Epsilon float64 // exploration rate at this tick
+	// Reward is the online reward credited to the previous decision from
+	// this tick's window (0 on the first tick); TimingMet is its latency
+	// verdict.
+	Reward    float64
+	TimingMet bool
+
+	Switched     bool    // the loop applied a live switch for this decision
+	SwitchCostMS float64 // modeled swap cost charged when it did
+}
+
+// SameAs reports whether two decisions agree on the replay-checked
+// surface (everything Step computes; the applied-switch fields are
+// live-loop bookkeeping and excluded).
+func (d AutotuneDecision) SameAs(o AutotuneDecision) bool {
+	return d.Tick == o.Tick && d.State == o.State && d.Level == o.Level &&
+		d.Explore == o.Explore && d.Epsilon == o.Epsilon &&
+		d.Reward == o.Reward && d.TimingMet == o.TimingMet
+}
+
+// AutotuneTrace is the auditable record of a controller run: the seed
+// plus every decision in tick order. Because Autotuner.Step is a pure
+// function of (config, seed, telemetry sequence), feeding the recorded
+// telemetry back through a fresh controller reproduces the decisions
+// exactly — ReplayTrace is the auditor.
+type AutotuneTrace struct {
+	Seed      int64
+	Decisions []AutotuneDecision
+	// Dropped counts decisions evicted by TraceCap; a trace with
+	// Dropped > 0 is not replayable (the learning history is incomplete).
+	Dropped int
+}
+
+// Autotuner is the per-replica-pool closed-loop controller: it converts
+// sampled serving telemetry into the RL state space, queries the
+// rl.Controller policy epsilon-greedily each control tick, credits the
+// previous decision with the reward the observed window implies
+// (rl.OnlineReward), and — unless frozen — folds that reward back into
+// the policy with a REINFORCE update. It never touches the clock or the
+// server: the live loop samples telemetry and applies switches, tests
+// drive Step directly with synthetic windows.
+type Autotuner struct {
+	mu    sync.Mutex
+	cfg   AutotuneConfig
+	costs []hwsim.LevelCost
+	ctrl  *rl.Controller
+	base  *rl.Baseline
+	rng   *rand.Rand
+	eps   float64
+	tick  int
+
+	prev      *rl.Episode // last decision's episode, pending its reward
+	prevLevel int
+
+	trace   []AutotuneDecision
+	dropped int
+}
+
+// NewAutotuner builds a controller over the deployed levels (fastest
+// first, the bundle convention). cyclesPerInference feeds the hwsim
+// cost table the reward's relative-energy term reads.
+func NewAutotuner(levels []dvfs.Level, power dvfs.PowerModel, cyclesPerInference float64, cfg AutotuneConfig) (*Autotuner, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("serve: autotuner needs at least one level")
+	}
+	if cyclesPerInference <= 0 {
+		return nil, fmt.Errorf("serve: autotuner needs positive cyclesPerInference, got %g", cyclesPerInference)
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ctrl, err := rl.NewController(rl.Config{
+		Hidden:  cfg.Hidden,
+		NumSets: len(levels), NumPatterns: 1, Levels: 1, K: 1,
+		LR:     cfg.LR,
+		States: cfg.Space.States(),
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Autotuner{
+		cfg:   cfg,
+		costs: hwsim.LevelCosts(levels, power, cyclesPerInference),
+		ctrl:  ctrl,
+		base:  rl.NewBaseline(cfg.BaselineDecay),
+		rng:   rng,
+		eps:   cfg.Epsilon,
+	}, nil
+}
+
+// Step runs one control tick on a telemetry snapshot and returns the
+// decision: first the previous decision is credited with the reward the
+// observed window implies (and, unless frozen, reinforced), then the
+// window is quantized into the controller's state and the next level is
+// chosen epsilon-greedily. Deterministic given the construction
+// arguments and the telemetry sequence — no clock, no global state.
+func (a *Autotuner) Step(tel Telemetry) AutotuneDecision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tick++
+	dec := AutotuneDecision{Tick: a.tick, Tel: tel, TimingMet: true}
+
+	// 1. fold the observed window back as the previous action's reward.
+	// The energy term reads tel.Level — the level the server actually
+	// served the window at — not the level the previous decision asked
+	// for: if the loop's switch was rejected the two differ, and
+	// crediting the requested level would reinforce a phantom bonus.
+	ranAt := tel.Level
+	if ranAt < 0 || ranAt >= len(a.costs) {
+		ranAt = a.prevLevel
+	}
+	if a.prev != nil {
+		rr := rl.OnlineReward(rl.OnlineRewardInput{
+			Samples:         tel.Window.Samples,
+			P99MS:           tel.Window.P99MS,
+			TargetMS:        tel.TargetMS,
+			RelEnergy:       a.costs[ranAt].RelEnergy,
+			BatteryFraction: tel.BatteryFraction,
+			EnergyWeight:    a.cfg.EnergyWeight,
+		})
+		dec.Reward = rr.Reward
+		dec.TimingMet = rr.TimingMet
+		if !a.cfg.Frozen {
+			a.ctrl.Reinforce(a.prev, a.base.Update(rr.Reward))
+		}
+	}
+
+	// 2. quantize the window into the controller's context state
+	ratio := 0.0
+	if tel.TargetMS > 0 && tel.Window.Samples > 0 {
+		ratio = tel.Window.P99MS / tel.TargetMS
+	}
+	dec.State = a.cfg.Space.Encode(ratio, tel.BatteryFraction, tel.Window.FillRatio)
+
+	// 3. epsilon-greedy level choice conditioned on that state
+	dec.Epsilon = a.eps
+	var ep *rl.Episode
+	if a.rng.Float64() < a.eps {
+		dec.Explore = true
+		ep = a.ctrl.SampleSetFrom(dec.State, a.rng)
+	} else {
+		ep = a.ctrl.GreedySetFrom(dec.State)
+	}
+	if a.eps *= a.cfg.EpsilonDecay; a.eps < a.cfg.EpsilonMin {
+		a.eps = a.cfg.EpsilonMin
+	}
+	a.prev = ep
+	a.prevLevel = ep.SetChoices[0] % len(a.costs)
+	dec.Level = a.prevLevel
+
+	if len(a.trace) >= a.cfg.TraceCap {
+		a.trace = a.trace[1:]
+		a.dropped++
+	}
+	a.trace = append(a.trace, dec)
+	return dec
+}
+
+// markApplied annotates the trace entry of the given tick with the live
+// switch the loop performed for it.
+func (a *Autotuner) markApplied(tick int, costMS float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := len(a.trace) - 1; i >= 0; i-- {
+		if a.trace[i].Tick == tick {
+			a.trace[i].Switched = true
+			a.trace[i].SwitchCostMS = costMS
+			return
+		}
+	}
+}
+
+// Trace snapshots the decision record so far.
+func (a *Autotuner) Trace() AutotuneTrace {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AutotuneTrace{
+		Seed:      a.cfg.Seed,
+		Decisions: append([]AutotuneDecision(nil), a.trace...),
+		Dropped:   a.dropped,
+	}
+}
+
+// LevelCosts exposes the hwsim cost table the reward reads (bundle
+// order) — the benchmark prints it next to the comparison.
+func (a *Autotuner) LevelCosts() []hwsim.LevelCost {
+	return append([]hwsim.LevelCost(nil), a.costs...)
+}
+
+// ReplayTrace re-runs a recorded decision trace through a fresh
+// controller built with the same configuration and the trace's seed,
+// feeding each recorded telemetry snapshot back through Step, and
+// verifies every replayed decision matches the recorded one. It returns
+// the replayed decisions; a mismatch (or an unreplayable truncated
+// trace) is an error. This is the audit path: any run's level choices
+// can be reproduced and inspected offline, without wall-clock time or a
+// live server.
+func ReplayTrace(levels []dvfs.Level, power dvfs.PowerModel, cyclesPerInference float64, cfg AutotuneConfig, tr AutotuneTrace) ([]AutotuneDecision, error) {
+	if tr.Dropped > 0 {
+		return nil, fmt.Errorf("serve: trace dropped %d decisions (TraceCap exceeded); not replayable", tr.Dropped)
+	}
+	cfg.Seed = tr.Seed
+	a, err := NewAutotuner(levels, power, cyclesPerInference, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AutotuneDecision, 0, len(tr.Decisions))
+	for i, rec := range tr.Decisions {
+		got := a.Step(rec.Tel)
+		if !got.SameAs(rec) {
+			return out, fmt.Errorf("serve: replay diverged at tick %d (decision %d): recorded level %d state %d explore %v reward %g, replayed level %d state %d explore %v reward %g",
+				rec.Tick, i, rec.Level, rec.State, rec.Explore, rec.Reward, got.Level, got.State, got.Explore, got.Reward)
+		}
+		out = append(out, got)
+	}
+	return out, nil
+}
+
+// autotuneLoop is the server's closed control loop: every Autotune.Every
+// it samples live telemetry (sliding latency/fill window, queue depth,
+// battery charge, throughput deltas), runs one controller Step, and
+// applies the decision as a guarded live switch through the same drain
+// path every reconfiguration takes — so in generation mode a switch
+// lands at decode-step granularity, mid-generation.
+func (s *Server) autotuneLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.Autotune.Every)
+	defer ticker.Stop()
+	prevDone, prevTok := s.rec.Counters()
+	last := time.Now()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			now := time.Now()
+			dt := now.Sub(last).Seconds()
+			last = now
+			done, tok := s.rec.Counters()
+			tel := Telemetry{
+				Window:          s.rec.RecentStats(),
+				QueueDepth:      len(s.in) + len(s.genIn),
+				BatteryFraction: s.BatteryFraction(),
+				Level:           s.eng.Level(),
+				TargetMS:        s.cfg.TargetMS,
+			}
+			if dt > 0 {
+				tel.CompletedPerSec = float64(done-prevDone) / dt
+				tel.TokensPerSec = float64(tok-prevTok) / dt
+			}
+			prevDone, prevTok = done, tok
+			dec := s.tuner.Step(tel)
+			if dec.Level != tel.Level {
+				// a rejected switch (the engine validates and rolls
+				// back) leaves Switched false in the trace, and the
+				// next tick's Telemetry.Level shows the level the
+				// server actually kept — Step credits reward against
+				// that, never against the unapplied request.
+				if cost, err := s.SwitchTo(dec.Level); err == nil {
+					s.tuner.markApplied(dec.Tick, cost)
+				}
+			}
+		}
+	}
+}
+
+// Autotuner returns the server's closed-loop controller (nil unless
+// Config.Autotune was set).
+func (s *Server) Autotuner() *Autotuner { return s.tuner }
+
+// AutotuneTrace snapshots the closed-loop decision record; ok is false
+// when autotuning is not configured.
+func (s *Server) AutotuneTrace() (AutotuneTrace, bool) {
+	if s.tuner == nil {
+		return AutotuneTrace{}, false
+	}
+	return s.tuner.Trace(), true
+}

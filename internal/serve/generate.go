@@ -158,6 +158,7 @@ func (s *Server) decodeWorker(replica int) {
 			if len(states) > 0 {
 				dispatch := time.Now()
 				outs, err := s.eng.PrefillBatch(replica, states, prompts)
+				s.simDVFSDelay(level, dispatch)
 				prefillMS := float64(time.Since(dispatch).Microseconds()) / 1000
 				s.rec.ObserveBatch(len(states), s.cfg.MaxBatch)
 				for i, r := range admitOK {
@@ -190,6 +191,7 @@ func (s *Server) decodeWorker(replica int) {
 			}
 			t0 := time.Now()
 			logits, err := s.eng.DecodeBatch(replica, states, tokens)
+			s.simDVFSDelay(level, t0)
 			stepMS := float64(time.Since(t0).Microseconds()) / 1000
 			n := 0
 			for i, sl := range slots {
@@ -243,5 +245,6 @@ func (s *Server) finishGen(sl *genSlot, level int) {
 		TotalMS:   float64(time.Since(sl.req.enq).Microseconds()) / 1000,
 	}
 	s.rec.Observe(level, sl.queueMS, sl.prefillMS+sl.decodeMS)
+	s.rec.ObserveTokens(len(sl.tokens))
 	s.drainEnergy(level, len(sl.tokens))
 }

@@ -31,21 +31,31 @@ type LevelStats struct {
 
 // Recorder accumulates serving observations: per-level request latencies
 // (queue wait and execution recorded separately), batch sizes and fill
-// ratios, queue drops, and reconfiguration events. All methods are safe
-// for concurrent use.
+// ratios, queue drops, generated tokens, and reconfiguration events.
+// Alongside the cumulative digests it maintains sliding windows over the
+// most recent samples — the live telemetry the level policies and the
+// closed-loop autotuner decide on. All methods are safe for concurrent
+// use.
 type Recorder struct {
 	mu         sync.Mutex
 	levelNames []string
 	perLevel   [][]float64 // total (queue + execution) latency ms
 	queueSum   []float64   // per-level queue-wait sums
 	execSum    []float64   // per-level execution sums
-	recent     []float64   // sliding window across levels
-	recentPos  int
+
+	// sliding telemetry windows across levels (recentWindow samples)
+	recent      *metrics.Window // total latency ms
+	recentQueue *metrics.Window // queue-wait component ms
+	recentExec  *metrics.Window // execution component ms
+	recentN     *metrics.Window // dispatched batch sizes
+	recentCap   *metrics.Window // dispatched batch capacities (MaxBatch)
 
 	batches       int
 	batchRequests int
 	batchCapacity int // sum of MaxBatch across dispatched batches
 	drops         int
+	completed     int64 // requests (or generations) finished
+	tokens        int64 // generated tokens (generation mode)
 
 	switches      int
 	switchModelMS float64 // modeled reconfiguration cost
@@ -55,10 +65,15 @@ type Recorder struct {
 // NewRecorder sizes a recorder for the given level names.
 func NewRecorder(levelNames []string) *Recorder {
 	return &Recorder{
-		levelNames: levelNames,
-		perLevel:   make([][]float64, len(levelNames)),
-		queueSum:   make([]float64, len(levelNames)),
-		execSum:    make([]float64, len(levelNames)),
+		levelNames:  levelNames,
+		perLevel:    make([][]float64, len(levelNames)),
+		queueSum:    make([]float64, len(levelNames)),
+		execSum:     make([]float64, len(levelNames)),
+		recent:      metrics.NewWindow(recentWindow),
+		recentQueue: metrics.NewWindow(recentWindow),
+		recentExec:  metrics.NewWindow(recentWindow),
+		recentN:     metrics.NewWindow(recentWindow),
+		recentCap:   metrics.NewWindow(recentWindow),
 	}
 }
 
@@ -72,12 +87,10 @@ func (r *Recorder) Observe(level int, queueMS, execMS float64) {
 	r.perLevel[level] = append(r.perLevel[level], totalMS)
 	r.queueSum[level] += queueMS
 	r.execSum[level] += execMS
-	if len(r.recent) < recentWindow {
-		r.recent = append(r.recent, totalMS)
-	} else {
-		r.recent[r.recentPos] = totalMS
-		r.recentPos = (r.recentPos + 1) % recentWindow
-	}
+	r.completed++
+	r.recent.Push(totalMS)
+	r.recentQueue.Push(queueMS)
+	r.recentExec.Push(execMS)
 }
 
 // ObserveBatch records one dispatched batch of n requests against the
@@ -88,6 +101,25 @@ func (r *Recorder) ObserveBatch(n, maxBatch int) {
 	r.batches++
 	r.batchRequests += n
 	r.batchCapacity += maxBatch
+	r.recentN.Push(float64(n))
+	r.recentCap.Push(float64(maxBatch))
+}
+
+// ObserveTokens records n generated tokens (generation mode; the decode
+// worker calls it once per completed sequence).
+func (r *Recorder) ObserveTokens(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tokens += int64(n)
+}
+
+// Counters returns the cumulative completed-request and generated-token
+// counts. The autotuner differences successive reads to derive
+// throughput rates per control tick.
+func (r *Recorder) Counters() (completed, tokens int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.completed, r.tokens
 }
 
 // ObserveDrop records one request rejected at admission.
@@ -111,7 +143,50 @@ func (r *Recorder) ObserveSwitch(modelMS, wallMS float64) {
 func (r *Recorder) RecentP95() float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return metrics.Quantile(r.recent, 0.95)
+	return r.recent.Quantile(0.95)
+}
+
+// WindowStats digests the sliding telemetry window: latency quantiles of
+// the most recent completions, split into queue-wait and execution
+// components, plus the recent batch fill ratio. An empty window (no
+// completions yet, or none since the recorder was built) is all zeros
+// with Samples == 0 — consumers must treat that as "no signal", not as
+// zero latency.
+type WindowStats struct {
+	Samples int // completions currently in the window
+
+	// Total admission-to-completion latency quantiles, ms.
+	P50MS, P95MS, P99MS float64
+	// Queue-wait component quantiles, ms.
+	QueueP50MS, QueueP99MS float64
+	// Execution component quantiles, ms.
+	ExecP50MS, ExecP99MS float64
+
+	// FillRatio is recent dispatched requests over recent dispatched
+	// batch capacity, in [0, 1]; 0 when no batch is in the window.
+	FillRatio float64
+}
+
+// RecentStats snapshots the sliding telemetry window — the live signal
+// set the closed-loop autotuner converts into its RL state each control
+// tick.
+func (r *Recorder) RecentStats() WindowStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := WindowStats{Samples: r.recent.Len()}
+	if st.Samples > 0 {
+		st.P50MS = r.recent.Quantile(0.50)
+		st.P95MS = r.recent.Quantile(0.95)
+		st.P99MS = r.recent.Quantile(0.99)
+		st.QueueP50MS = r.recentQueue.Quantile(0.50)
+		st.QueueP99MS = r.recentQueue.Quantile(0.99)
+		st.ExecP50MS = r.recentExec.Quantile(0.50)
+		st.ExecP99MS = r.recentExec.Quantile(0.99)
+	}
+	if c := r.recentCap.Sum(); c > 0 {
+		st.FillRatio = r.recentN.Sum() / c
+	}
+	return st
 }
 
 // Drops returns the rejected-request count.
@@ -179,6 +254,40 @@ func (r *Recorder) Snapshot() []LevelStats {
 		})
 	}
 	return out
+}
+
+// Overall returns the cumulative all-levels latency digest (Level is
+// "all"; the zero value when nothing has completed). Unlike Snapshot it
+// pools every request regardless of the level it ran at, so run-level
+// comparisons (e.g. the autotune benchmark's arms) read one number.
+func (r *Recorder) Overall() LevelStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var all []float64
+	var queueSum, execSum float64
+	for i, lat := range r.perLevel {
+		all = append(all, lat...)
+		queueSum += r.queueSum[i]
+		execSum += r.execSum[i]
+	}
+	if len(all) == 0 {
+		return LevelStats{}
+	}
+	var sum float64
+	for _, v := range all {
+		sum += v
+	}
+	n := float64(len(all))
+	return LevelStats{
+		Level:       "all",
+		Count:       len(all),
+		MeanMS:      sum / n,
+		P50MS:       metrics.Quantile(all, 0.50),
+		P95MS:       metrics.Quantile(all, 0.95),
+		P99MS:       metrics.Quantile(all, 0.99),
+		MeanQueueMS: queueSum / n,
+		MeanExecMS:  execSum / n,
+	}
 }
 
 // FormatLevelStats renders the per-level digest as an aligned table.

@@ -11,11 +11,21 @@ import (
 
 // LoadSpec describes an open-loop traffic replay: arrivals follow a
 // linear rate ramp from StartRPS to EndRPS over Duration, regardless of
-// how fast the server drains them.
+// how fast the server drains them. BurstPeriod/BurstFactor additionally
+// modulate the ramp with a square wave for bursty profiles.
 type LoadSpec struct {
 	Duration time.Duration
 	StartRPS float64
 	EndRPS   float64
+
+	// BurstPeriod, when > 0, overlays bursts on the ramp: during the
+	// second half of every period the instantaneous rate is multiplied
+	// by BurstFactor (default 3 when a period is set). The resulting
+	// square-wave load alternates calm and pressured phases — the
+	// regime a closed-loop controller has to ride, where a static level
+	// is either too slow in the bursts or too hungry in the valleys.
+	BurstPeriod time.Duration
+	BurstFactor float64
 
 	// SeqLen and Vocab shape the synthetic token sequences.
 	SeqLen int
@@ -76,6 +86,9 @@ func (s LoadSpec) withDefaults() LoadSpec {
 	if s.GenOutMax < s.GenOutMin {
 		s.GenOutMax = s.GenOutMin + 12
 	}
+	if s.BurstPeriod > 0 && s.BurstFactor <= 0 {
+		s.BurstFactor = 3
+	}
 	return s
 }
 
@@ -93,6 +106,8 @@ type LoadReport struct {
 	// traffic actually used.
 	FillRatio float64
 	Levels    []LevelStats
+	// Overall pools every request regardless of level (Level == "all").
+	Overall LevelStats
 
 	Switches      int
 	SwitchModelMS float64 // modeled pattern-swap cost, cumulative
@@ -175,6 +190,9 @@ func RunLoad(s *Server, spec LoadSpec) (*LoadReport, error) {
 		}
 		frac := float64(elapsed) / float64(spec.Duration)
 		rps := spec.StartRPS + (spec.EndRPS-spec.StartRPS)*frac
+		if spec.BurstPeriod > 0 && elapsed%spec.BurstPeriod >= spec.BurstPeriod/2 {
+			rps *= spec.BurstFactor
+		}
 		next = next.Add(time.Duration(float64(time.Second) / rps))
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
@@ -228,6 +246,7 @@ func RunLoad(s *Server, spec LoadSpec) (*LoadReport, error) {
 	report.MeanBatch = s.Recorder().MeanBatch()
 	report.FillRatio = s.Recorder().FillRatio()
 	report.Levels = s.Recorder().Snapshot()
+	report.Overall = s.Recorder().Overall()
 	report.Switches, report.SwitchModelMS, report.SwitchWallMS = s.Recorder().Switches()
 	report.BatteryFraction = s.BatteryFraction()
 

@@ -52,6 +52,26 @@ type Config struct {
 	// TargetMS is the latency objective surfaced to the policy.
 	TargetMS float64
 
+	// Autotune, when set, runs the closed-loop RL/DVFS controller
+	// instead of the Policy loop: every control tick it samples the
+	// sliding telemetry window, quantizes it into the rl state space,
+	// queries the controller policy epsilon-greedily, learns online from
+	// the observed reward, and drives hot pattern-set/V/F switches
+	// through the drain path — recording an auditable decision trace
+	// (see Autotuner). Supersedes Policy when both are set.
+	Autotune *AutotuneConfig
+
+	// SimDVFS, when true, simulates the active V/F level's frequency in
+	// wall-clock execution: after every fused forward pass (and prefill
+	// or decode step in generation mode) the worker idles the remaining
+	// modeled time, stretching execution by f_fastest/f_level. On host
+	// hardware the packed kernels run orders of magnitude faster than
+	// the modeled mobile core, so without this a slower level changes
+	// energy accounting but never observable latency; with it, slow
+	// levels build real queue pressure under load — the latency/energy
+	// trade the closed-loop autotuner navigates.
+	SimDVFS bool
+
 	// BatteryJ, when > 0, enables the simulated battery: every request
 	// drains the modeled inference energy of the active level, so a
 	// battery-aware policy sees charge fall under load.
@@ -131,9 +151,10 @@ type Status struct {
 // swaps the active pattern set and V/F level on the engine, and charges
 // the modeled reconfiguration cost.
 type Server struct {
-	cfg Config
-	eng *Engine
-	rec *Recorder
+	cfg   Config
+	eng   *Engine
+	rec   *Recorder
+	tuner *Autotuner // non-nil when Config.Autotune is set
 
 	batMu   sync.Mutex
 	battery *dvfs.Battery // guarded by batMu
@@ -173,6 +194,15 @@ func New(eng *Engine, cfg Config) *Server {
 	if cfg.BatteryJ > 0 {
 		s.battery = dvfs.NewBattery(cfg.BatteryJ)
 	}
+	if cfg.Autotune != nil {
+		tuner, err := NewAutotuner(eng.Levels(), cfg.Power, cfg.CyclesPerInference, *cfg.Autotune)
+		if err != nil {
+			panic("serve: " + err.Error())
+		}
+		s.tuner = tuner
+		ac := tuner.cfg // defaults resolved once, the loop reads them
+		s.cfg.Autotune = &ac
+	}
 	return s
 }
 
@@ -184,8 +214,8 @@ func (s *Server) Engine() *Engine { return s.eng }
 
 // Start launches the worker pool — the dynamic batcher plus one batch
 // worker per engine replica, or (in Generate mode) one continuous-
-// batching decode loop per replica — and, when configured, the policy
-// loop.
+// batching decode loop per replica — and, when configured, the
+// closed-loop autotuner or the policy loop.
 func (s *Server) Start() {
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
@@ -206,7 +236,11 @@ func (s *Server) Start() {
 			go s.worker(i)
 		}
 	}
-	if s.cfg.Policy != nil {
+	switch {
+	case s.tuner != nil:
+		s.wg.Add(1)
+		go s.autotuneLoop()
+	case s.cfg.Policy != nil:
 		s.wg.Add(1)
 		go s.policyLoop()
 	}
@@ -384,6 +418,7 @@ func (s *Server) worker(replica int) {
 		}
 		dispatch := time.Now()
 		outs := s.eng.ForwardBatch(replica, ids)
+		s.simDVFSDelay(level, dispatch)
 		done := time.Now()
 		execMS := float64(done.Sub(dispatch).Microseconds()) / 1000
 		for i, r := range batch {
@@ -401,6 +436,23 @@ func (s *Server) worker(replica int) {
 		}
 		s.execMu.RUnlock()
 	}
+}
+
+// simDVFSDelay stretches the execution that started at t0 to the active
+// level's modeled frequency (a no-op unless Config.SimDVFS): having run
+// the work at host speed, the worker idles the remaining
+// f_fastest/f_level share of the measured time. Called with execMu
+// read-held, so the stretched execution drains like real execution.
+func (s *Server) simDVFSDelay(level int, t0 time.Time) {
+	if !s.cfg.SimDVFS {
+		return
+	}
+	levels := s.eng.Levels()
+	factor := levels[0].FreqMHz / levels[level].FreqMHz
+	if factor <= 1 {
+		return
+	}
+	time.Sleep(time.Duration(float64(time.Since(t0)) * (factor - 1)))
 }
 
 // drainEnergy charges the modeled inference energy of n units of work
