@@ -40,6 +40,7 @@ type autotuneArm struct {
 	score     float64
 	relEnergy float64
 	trace     serve.AutotuneTrace
+	metrics   map[string]float64 // registry snapshot, -json runs only
 }
 
 // runAutotuneBench compares static levels, the battery governor, and
@@ -87,6 +88,26 @@ func runAutotuneBench(spec autotuneBenchSpec) error {
 			a.report.BatteryFraction*100, a.relEnergy, a.report.Switches, a.score)
 	}
 	fmt.Printf("\nreward = (p95 <= %.0fms ? +1 : -1) + 0.8*(1-relE)*(1-battery+0.2) - dropped/offered\n", spec.targetMS)
+
+	if jsonRep != nil {
+		section := &autotuneSection{TargetMS: spec.targetMS}
+		for _, a := range arms {
+			section.Arms = append(section.Arms, autotuneRow{
+				Arm:             a.name,
+				Completed:       a.report.Completed,
+				Dropped:         a.report.Dropped,
+				P50MS:           a.report.Overall.P50MS,
+				P95MS:           a.report.Overall.P95MS,
+				P99MS:           a.report.Overall.P99MS,
+				BatteryFraction: a.report.BatteryFraction,
+				RelEnergy:       a.relEnergy,
+				Switches:        a.report.Switches,
+				Reward:          a.score,
+			})
+		}
+		section.Metrics = arms[len(arms)-1].metrics // the closed-loop arm
+		jsonRep.Autotune = section
+	}
 
 	// the closed loop must be auditable: replay the recorded trace
 	// through a fresh controller and require identical decisions
@@ -213,6 +234,9 @@ func runAutotuneArm(spec autotuneBenchSpec, name string, static int, buildPol fu
 	arm := autotuneArm{name: name, report: report}
 	if tr, ok := srv.AutotuneTrace(); ok {
 		arm.trace = tr
+	}
+	if jsonRep != nil {
+		arm.metrics = srv.Metrics().Snapshot()
 	}
 	return arm, nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rt3/internal/mat"
+	"rt3/internal/obs"
 	"rt3/internal/pattern"
 	"rt3/internal/rtswitch"
 	"rt3/internal/serve"
@@ -45,6 +46,11 @@ func runDecodeBench(spec decodeBenchSpec) error {
 		return err
 	}
 
+	var section *decodeSection
+	if jsonRep != nil {
+		section = &decodeSection{Prompt: spec.prompt, Gen: spec.gen, Sparsity: spec.sparsity}
+		jsonRep.Decode = section
+	}
 	fmt.Printf("incremental decoding: prompt %d, %d generated tokens, pattern sparsity %.2f, dim %d\n",
 		spec.prompt, spec.gen, spec.sparsity, cfg.Dim)
 	fmt.Printf("cached: one fused decode step per token; recompute: decoder re-run over the growing prefix\n\n")
@@ -148,6 +154,20 @@ func runDecodeBench(spec decodeBenchSpec) error {
 		fmt.Printf("%-6d %14.0f %14.0f %9.1fx %14.1f\n",
 			batch, perTok/cached, perTok/recomp, recomp/cached,
 			float64(st.CachedRows)/float64(st.Tokens))
+		if section != nil {
+			section.Rows = append(section.Rows, decodeRow{
+				Batch:           batch,
+				CachedTokS:      perTok / cached,
+				RecomputeTokS:   perTok / recomp,
+				Speedup:         recomp / cached,
+				CacheRowsPerTok: float64(st.CachedRows) / float64(st.Tokens),
+			})
+		}
+	}
+	if section != nil {
+		reg := obs.NewRegistry()
+		eng.RegisterMetrics(reg)
+		section.Metrics = reg.Snapshot()
 	}
 	return nil
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// jsonRep collects structured results when -json is set; the bench
+// runners append their rows and metrics snapshots as they print, and
+// main serializes the report on exit. Nil when -json is absent.
+var jsonRep *jsonReport
+
+// jsonReport is the -json output shape: one section per structured
+// experiment (kernels, decode, autotune), each carrying its result rows
+// plus a snapshot of the obs instruments the run touched.
+type jsonReport struct {
+	Kernels  *kernelsSection  `json:"kernels,omitempty"`
+	Decode   *decodeSection   `json:"decode,omitempty"`
+	Autotune *autotuneSection `json:"autotune,omitempty"`
+}
+
+type kernelsSection struct {
+	Dim      int                `json:"dim"`
+	Batch    int                `json:"batch"`
+	Sparsity float64            `json:"sparsity"`
+	Workers  int                `json:"workers"`
+	Formats  []kernelRow        `json:"formats"`
+	Batched  []batchedRow       `json:"batched,omitempty"`
+	Metrics  map[string]float64 `json:"metrics"`
+}
+
+type kernelRow struct {
+	Format     string  `json:"format"`
+	NNZ        int     `json:"nnz"`
+	IndexWords int     `json:"index_words"`
+	USPerOp    float64 `json:"us_per_op"`
+	GFLOPEqS   float64 `json:"gflop_eq_per_s"`
+	GFLOPEffS  float64 `json:"gflop_eff_per_s"`
+}
+
+type batchedRow struct {
+	Format   string  `json:"format"`
+	FusedUS  float64 `json:"fused_us"`
+	PerSeqUS float64 `json:"perseq_us"`
+	Speedup  float64 `json:"speedup"`
+}
+
+type decodeSection struct {
+	Prompt   int                `json:"prompt"`
+	Gen      int                `json:"gen"`
+	Sparsity float64            `json:"sparsity"`
+	Rows     []decodeRow        `json:"rows"`
+	Metrics  map[string]float64 `json:"metrics"`
+}
+
+type decodeRow struct {
+	Batch           int     `json:"batch"`
+	CachedTokS      float64 `json:"cached_tok_per_s"`
+	RecomputeTokS   float64 `json:"recompute_tok_per_s"`
+	Speedup         float64 `json:"speedup"`
+	CacheRowsPerTok float64 `json:"cache_rows_per_tok"`
+}
+
+type autotuneSection struct {
+	TargetMS float64            `json:"target_ms"`
+	Arms     []autotuneRow      `json:"arms"`
+	Metrics  map[string]float64 `json:"metrics"` // closed-loop arm's registry
+}
+
+type autotuneRow struct {
+	Arm             string  `json:"arm"`
+	Completed       int     `json:"completed"`
+	Dropped         int     `json:"dropped"`
+	P50MS           float64 `json:"p50_ms"`
+	P95MS           float64 `json:"p95_ms"`
+	P99MS           float64 `json:"p99_ms"`
+	BatteryFraction float64 `json:"battery_fraction"`
+	RelEnergy       float64 `json:"rel_energy"`
+	Switches        int     `json:"switches"`
+	Reward          float64 `json:"reward"`
+}
+
+// writeJSONReport serializes the collected report to path.
+func writeJSONReport(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonRep)
+}

@@ -8,6 +8,7 @@ import (
 
 	"rt3/internal/kernel"
 	"rt3/internal/mat"
+	"rt3/internal/obs"
 	"rt3/internal/pattern"
 )
 
@@ -56,6 +57,13 @@ func runKernelBench(formats string, spec kernelBenchSpec) error {
 	fmt.Printf("%-10s %10s %10s %12s %14s %14s\n",
 		"format", "nnz", "idx_words", "us/op", "GFLOPeq/s", "GFLOPeff/s")
 
+	var section *kernelsSection
+	if jsonRep != nil {
+		section = &kernelsSection{
+			Dim: spec.dim, Batch: spec.batch, Sparsity: spec.sparsity, Workers: spec.workers,
+		}
+		jsonRep.Kernels = section
+	}
 	denseFlops := 2 * float64(spec.dim) * float64(spec.dim) * float64(spec.batch)
 	for _, name := range names {
 		k, err := kernel.Build(name, w, kernel.Options{Set: set, Workers: spec.workers})
@@ -71,6 +79,14 @@ func runKernelBench(formats string, spec kernelBenchSpec) error {
 			float64(perOp.Nanoseconds())/1e3,
 			denseFlops/perOp.Seconds()/1e9,
 			effFlops/perOp.Seconds()/1e9)
+		if section != nil {
+			section.Formats = append(section.Formats, kernelRow{
+				Format: name, NNZ: k.NNZ(), IndexWords: k.IndexWords(),
+				USPerOp:   float64(perOp.Nanoseconds()) / 1e3,
+				GFLOPEqS:  denseFlops / perOp.Seconds() / 1e9,
+				GFLOPEffS: effFlops / perOp.Seconds() / 1e9,
+			})
+		}
 		if pk, ok := k.(*kernel.ParallelKernel); ok {
 			pk.Close()
 		}
@@ -80,6 +96,11 @@ func runKernelBench(formats string, spec kernelBenchSpec) error {
 		if err := runBatchedKernelBench(names, w, set, spec); err != nil {
 			return err
 		}
+	}
+	if section != nil {
+		reg := obs.NewRegistry()
+		kernel.RegisterMetrics(reg)
+		section.Metrics = reg.Snapshot()
 	}
 	return nil
 }
@@ -117,6 +138,14 @@ func runBatchedKernelBench(names []string, w *mat.Matrix, set *pattern.Set, spec
 			float64(fused.Nanoseconds())/1e3,
 			float64(perSeq.Nanoseconds())/1e3,
 			float64(perSeq)/float64(fused))
+		if jsonRep != nil && jsonRep.Kernels != nil {
+			jsonRep.Kernels.Batched = append(jsonRep.Kernels.Batched, batchedRow{
+				Format:   name,
+				FusedUS:  float64(fused.Nanoseconds()) / 1e3,
+				PerSeqUS: float64(perSeq.Nanoseconds()) / 1e3,
+				Speedup:  float64(perSeq) / float64(fused),
+			})
+		}
 		if pk, ok := k.(*kernel.ParallelKernel); ok {
 			pk.Close()
 		}

@@ -45,7 +45,11 @@ func main() {
 	atBattery := flag.Float64("autotune-battery", 0.6, "autotune experiment: battery capacity in joules")
 	atTarget := flag.Float64("autotune-target", 15, "autotune experiment: latency objective in ms")
 	atSeed := flag.Int64("autotune-seed", 1, "autotune experiment: rng seed (decision trace is reproducible from it)")
+	jsonPath := flag.String("json", "", "write structured results plus a metrics snapshot to this file (kernels, decode and autotune experiments)")
 	flag.Parse()
+	if *jsonPath != "" {
+		jsonRep = &jsonReport{}
+	}
 
 	scale := experiments.ScaleTiny
 	switch *scaleFlag {
@@ -170,5 +174,14 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels, decode or autotune)\n", *exp)
 		os.Exit(2)
+	}
+	if jsonRep != nil {
+		if jsonRep.Kernels == nil && jsonRep.Decode == nil && jsonRep.Autotune == nil {
+			log.Fatalf("-json collects kernels, decode and autotune results; -exp %s produced none", *exp)
+		}
+		if err := writeJSONReport(*jsonPath); err != nil {
+			log.Fatalf("-json: %v", err)
+		}
+		fmt.Printf("wrote structured results to %s\n", *jsonPath)
 	}
 }

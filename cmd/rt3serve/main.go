@@ -43,10 +43,14 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
+	"os"
 	"time"
 
 	"rt3/internal/deploy"
 	"rt3/internal/dvfs"
+	"rt3/internal/obs"
 	"rt3/internal/pattern"
 	"rt3/internal/rtswitch"
 	"rt3/internal/serve"
@@ -86,8 +90,14 @@ func main() {
 		gen      = flag.Bool("gen", false, "generation mode: KV-cached incremental decoding with continuous batching on the encoder-decoder LM")
 		genTok   = flag.Int("gen-tokens", 16, "generation mode: max tokens per request (load mode samples budgets in [max/2, max])")
 		genPrmpt = flag.Int("gen-prompt", 10, "generation mode: max prompt length (load mode samples lengths in [max/2, max])")
+
+		adminAddr = flag.String("admin-addr", "", "serve /metrics, /trace, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
+		traceOut  = flag.String("trace-out", "", "write retained request traces as Chrome trace_event JSON to this file on exit")
+		quiet     = flag.Bool("quiet", false, "suppress progress logging (warnings and errors only)")
+		verbose   = flag.Bool("v", false, "debug logging, including live autotune decision lines")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, "rt3serve: ", obs.LevelFromFlags(*quiet, *verbose))
 
 	eng, bundleBytes, bundle := buildDeployment(*seed, *workers, *gen, serve.EngineConfig{
 		Format:        *format,
@@ -99,7 +109,7 @@ func main() {
 	if *gen {
 		mode = "incremental decoding"
 	}
-	fmt.Printf("execution: %s kernels, %d replica(s), %d worker(s) per kernel, %s mode\n\n",
+	logger.Infof("execution: %s kernels, %d replica(s), %d worker(s) per kernel, %s mode",
 		eng.Format(), eng.Replicas(), *kworkers, mode)
 
 	// smoke mode switches levels manually; only the load demo wants a
@@ -132,9 +142,32 @@ func main() {
 		BatteryJ:     *batteryJ,
 		Generate:     *gen,
 		MaxGenTokens: *genTok,
+		OnAutotuneDecision: func(d serve.AutotuneDecision) {
+			sw := "-"
+			if d.Switched {
+				sw = fmt.Sprintf("%.2fms", d.SwitchCostMS)
+			}
+			logger.Debugf("autotune tick %d: state %d level %d p99 %.2fms reward %.3f explore %v switch %s",
+				d.Tick, d.State, d.Level, d.Tel.Window.P99MS, d.Reward, d.Explore, sw)
+		},
 	})
 	srv.Start()
+	defer writeTraceFile(logger, srv, *traceOut)
 	defer srv.Stop()
+
+	if *adminAddr != "" {
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		mux := obs.NewAdminMux(obs.AdminOptions{
+			Registries: []*obs.Registry{srv.Metrics()},
+			Tracer:     srv.Tracer(),
+		})
+		go func() { _ = http.Serve(ln, mux) }()
+		logger.Infof("admin endpoint on http://%s (/metrics /trace /healthz /debug/pprof)", ln.Addr())
+	}
 
 	if !*load {
 		if *gen {
@@ -149,7 +182,7 @@ func main() {
 	if *autotune {
 		controller = "closed-loop autotune"
 	}
-	fmt.Printf("replaying %.0f->%.0f req/s over %s (policy %s, battery %.2f J)\n\n",
+	logger.Infof("replaying %.0f->%.0f req/s over %s (policy %s, battery %.2f J)",
 		*rpsStart, *rpsEnd, *duration, controller, *batteryJ)
 	report, err := serve.RunLoad(srv, serve.LoadSpec{
 		Duration:     *duration,
@@ -324,6 +357,26 @@ func printAutotune(srv *serve.Server, tail int) {
 			d.Tick, d.State, eng.LevelName(d.Level), d.Tel.Window.P99MS,
 			d.Tel.BatteryFraction*100, d.Tel.Window.FillRatio*100, d.Reward, d.Explore, sw)
 	}
+}
+
+// writeTraceFile dumps the tracer's retained request traces as a Chrome
+// trace_event file (loadable in chrome://tracing or Perfetto). Runs
+// after Stop, so every delivered response's trace is included.
+func writeTraceFile(logger *obs.Logger, srv *serve.Server, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		logger.Errorf("trace-out: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := srv.Tracer().WriteTraceEvents(f, 0); err != nil {
+		logger.Errorf("trace-out: %v", err)
+		return
+	}
+	logger.Infof("wrote %d request traces to %s", srv.Tracer().Len(), path)
 }
 
 // buildPolicy resolves the -policy flag.

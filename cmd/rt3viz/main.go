@@ -4,7 +4,10 @@
 // Usage:
 //
 //	rt3viz                 # ASCII to stdout
-//	rt3viz -pgm out        # writes out_l6.pgm, out_l4.pgm, out_l3.pgm
+//	rt3viz -pgm out        # writes out_<level>.pgm per deployed level
+//
+// The PGM filenames derive from the experiment's level names
+// (res.Levels), one image per V/F level the search deployed.
 package main
 
 import (

@@ -104,6 +104,8 @@ func (p *Pool) MulInto(k Kernel, dst, x *mat.Matrix) {
 		k.MulInto(dst, x)
 		return
 	}
+	parallelDispatches.Add(1)
+	parallelRows.Add(int64(x.Rows))
 	p.k, p.dst, p.x, p.nw = k, dst, x, nw
 	p.wg.Add(nw)
 	for i := 0; i < nw; i++ {

@@ -57,6 +57,7 @@ func (r *Registry) Build(name string, w *mat.Matrix, opts Options) (Kernel, erro
 	if err != nil {
 		return nil, err
 	}
+	buildsTotal.Add(1)
 	return Parallel(k, opts.Workers), nil
 }
 

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// AdminOptions configures the admin mux. Any field may be zero: absent
+// registries yield an empty /metrics page, an absent tracer an empty
+// /trace, and an absent Health check makes /healthz always OK.
+type AdminOptions struct {
+	// Registries are gathered in order onto /metrics; register
+	// non-overlapping metric names across them.
+	Registries []*Registry
+	Tracer     *Tracer
+	// Health, when set, gates /healthz: a non-nil error renders 503
+	// with the error text.
+	Health func() error
+}
+
+// NewAdminMux builds the admin HTTP handler rt3serve exposes on
+// -admin-addr:
+//
+//	/metrics            Prometheus text exposition of all registries
+//	/trace              recent traces; ?format=chrome|jsonl, ?n=<count>
+//	/healthz            200 ok / 503 with the health error
+//	/debug/pprof/...    standard net/http/pprof profiling handlers
+func NewAdminMux(opts AdminOptions) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, reg := range opts.Registries {
+			if reg == nil {
+				continue
+			}
+			if err := reg.WritePrometheus(w); err != nil {
+				return // client gone; nothing useful to do
+			}
+		}
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, fmt.Sprintf("bad n=%q", s), http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "jsonl":
+			w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+			_ = opts.Tracer.WriteJSONL(w, n)
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = opts.Tracer.WriteTraceEvents(w, n)
+		default:
+			http.Error(w, fmt.Sprintf("bad format=%q (want jsonl or chrome)", format), http.StatusBadRequest)
+		}
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Health != nil {
+			if err := opts.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	// net/http/pprof registers on http.DefaultServeMux at import; wire
+	// its handlers onto this mux explicitly so the admin endpoint works
+	// without exposing DefaultServeMux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}

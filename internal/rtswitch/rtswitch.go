@@ -8,9 +8,11 @@ package rtswitch
 
 import (
 	"fmt"
+	"sync"
 
 	"rt3/internal/deploy"
 	"rt3/internal/dvfs"
+	"rt3/internal/obs"
 )
 
 // SwitchCostModel converts bytes moved into reconfiguration time.
@@ -144,12 +146,15 @@ func Simulate(cfg Config) (*Result, error) {
 
 // Reconfigurator is the on-device runtime object: it owns the deployed
 // sub-models and answers "switch to level i" requests, tracking the cost
-// of each switch.
+// of each switch. Switching and stat reads are safe for concurrent use:
+// the serving stack's metrics endpoint gathers Stats while the drain
+// path is mid-switch.
 type Reconfigurator struct {
 	Levels    []dvfs.Level
 	SubModels []SubModel
 	Switch    SwitchCostModel
 
+	mu           sync.Mutex
 	current      int
 	switches     int
 	switchTimeMS float64
@@ -189,7 +194,11 @@ func FromBundle(b *deploy.Bundle, costs SwitchCostModel) (*Reconfigurator, error
 }
 
 // Current returns the active level index.
-func (r *Reconfigurator) Current() int { return r.current }
+func (r *Reconfigurator) Current() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.current
+}
 
 // SwitchTo activates the sub-model for level idx, returning the switch
 // time in milliseconds (0 when already active).
@@ -197,6 +206,8 @@ func (r *Reconfigurator) SwitchTo(idx int) (float64, error) {
 	if idx < 0 || idx >= len(r.SubModels) {
 		return 0, fmt.Errorf("rtswitch: level index %d out of range %d", idx, len(r.SubModels))
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if idx == r.current {
 		return 0, nil
 	}
@@ -208,4 +219,19 @@ func (r *Reconfigurator) SwitchTo(idx int) (float64, error) {
 }
 
 // Stats returns the cumulative switch count and time.
-func (r *Reconfigurator) Stats() (int, float64) { return r.switches, r.switchTimeMS }
+func (r *Reconfigurator) Stats() (int, float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.switches, r.switchTimeMS
+}
+
+// RegisterMetrics exposes the reconfigurator's cumulative switch
+// accounting on an obs registry as read-callbacks.
+func (r *Reconfigurator) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("rt3_reconfig_switches_total",
+		"Pattern-set switches applied by the reconfigurator.",
+		func() float64 { n, _ := r.Stats(); return float64(n) })
+	reg.CounterFunc("rt3_reconfig_modeled_ms_total",
+		"Cumulative modeled pattern-swap time.",
+		func() float64 { _, ms := r.Stats(); return ms })
+}

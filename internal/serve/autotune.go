@@ -8,6 +8,7 @@ import (
 
 	"rt3/internal/dvfs"
 	"rt3/internal/hwsim"
+	"rt3/internal/obs"
 	"rt3/internal/rl"
 )
 
@@ -164,6 +165,13 @@ type Autotuner struct {
 
 	trace   []AutotuneDecision
 	dropped int
+
+	// cumulative run accounting (guarded by mu), exposed via
+	// RegisterMetrics so the controller is observable live.
+	explores   int     // exploration (sampled) decisions
+	violations int     // ticks whose reward verdict missed the target
+	applied    int     // decisions the loop applied as live switches
+	rewardSum  float64 // cumulative online reward (may be negative)
 }
 
 // NewAutotuner builds a controller over the deployed levels (fastest
@@ -229,6 +237,10 @@ func (a *Autotuner) Step(tel Telemetry) AutotuneDecision {
 		})
 		dec.Reward = rr.Reward
 		dec.TimingMet = rr.TimingMet
+		a.rewardSum += rr.Reward
+		if !rr.TimingMet {
+			a.violations++
+		}
 		if !a.cfg.Frozen {
 			a.ctrl.Reinforce(a.prev, a.base.Update(rr.Reward))
 		}
@@ -246,6 +258,7 @@ func (a *Autotuner) Step(tel Telemetry) AutotuneDecision {
 	var ep *rl.Episode
 	if a.rng.Float64() < a.eps {
 		dec.Explore = true
+		a.explores++
 		ep = a.ctrl.SampleSetFrom(dec.State, a.rng)
 	} else {
 		ep = a.ctrl.GreedySetFrom(dec.State)
@@ -270,6 +283,7 @@ func (a *Autotuner) Step(tel Telemetry) AutotuneDecision {
 func (a *Autotuner) markApplied(tick int, costMS float64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.applied++
 	for i := len(a.trace) - 1; i >= 0; i-- {
 		if a.trace[i].Tick == tick {
 			a.trace[i].Switched = true
@@ -277,6 +291,31 @@ func (a *Autotuner) markApplied(tick int, costMS float64) {
 			return
 		}
 	}
+}
+
+// RegisterMetrics exposes the controller's cumulative run accounting on
+// an obs registry as read-callbacks (all mu-guarded snapshots).
+func (a *Autotuner) RegisterMetrics(reg *obs.Registry) {
+	locked := func(f func() float64) func() float64 {
+		return func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return f()
+		}
+	}
+	reg.CounterFunc("rt3_autotune_ticks_total", "Control ticks stepped.",
+		locked(func() float64 { return float64(a.tick) }))
+	reg.CounterFunc("rt3_autotune_explore_total", "Exploration (sampled) decisions.",
+		locked(func() float64 { return float64(a.explores) }))
+	reg.CounterFunc("rt3_autotune_applied_total", "Decisions applied as live switches.",
+		locked(func() float64 { return float64(a.applied) }))
+	reg.CounterFunc("rt3_autotune_timing_violations_total",
+		"Ticks whose reward verdict missed the latency target.",
+		locked(func() float64 { return float64(a.violations) }))
+	reg.GaugeFunc("rt3_autotune_reward_sum", "Cumulative online reward (may be negative).",
+		locked(func() float64 { return a.rewardSum }))
+	reg.GaugeFunc("rt3_autotune_epsilon", "Current exploration rate.",
+		locked(func() float64 { return a.eps }))
 }
 
 // Trace snapshots the decision record so far.
@@ -367,7 +406,12 @@ func (s *Server) autotuneLoop() {
 				// that, never against the unapplied request.
 				if cost, err := s.SwitchTo(dec.Level); err == nil {
 					s.tuner.markApplied(dec.Tick, cost)
+					s.tracer.NoteAutotuneTick(int64(dec.Tick))
+					dec.Switched, dec.SwitchCostMS = true, cost
 				}
+			}
+			if s.cfg.OnAutotuneDecision != nil {
+				s.cfg.OnAutotuneDecision(dec)
 			}
 		}
 	}

@@ -19,6 +19,7 @@ import (
 	"rt3/internal/kernel"
 	"rt3/internal/mat"
 	"rt3/internal/nn"
+	"rt3/internal/obs"
 	"rt3/internal/pattern"
 	"rt3/internal/rtswitch"
 	"rt3/internal/transformer"
@@ -420,6 +421,42 @@ func (e *Engine) DecodeBatch(replica int, states []*transformer.DecodeState, tok
 	e.decTokens.Add(int64(len(tokens)))
 	e.decCachedRows.Add(cached)
 	return logits, nil
+}
+
+// RegisterMetrics exposes the engine's hot-path execution counters on
+// an obs registry as read-callbacks: the atomics the workers bump stay
+// plain atomics, and the registry reads them at gather time. The decode
+// families are registered unconditionally (zero in classification mode)
+// so scrapers see a stable series set, and the reconfigurator's switch
+// accounting rides along.
+func (e *Engine) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("rt3_fused_batches_total",
+		"Fused packed forward passes (ForwardBatch calls).",
+		func() float64 { return float64(e.batchCount.Load()) })
+	reg.CounterFunc("rt3_batched_seqs_total",
+		"Sequences executed through fused forward passes.",
+		func() float64 { return float64(e.batchSeqs.Load()) })
+	reg.CounterFunc("rt3_packed_rows_total",
+		"Packed rows executed through fused forward passes.",
+		func() float64 { return float64(e.batchRows.Load()) })
+	reg.CounterFunc("rt3_decode_steps_total",
+		"Fused decode steps (DecodeBatch calls).",
+		func() float64 { return float64(e.decSteps.Load()) })
+	reg.CounterFunc("rt3_decode_tokens_total",
+		"Tokens decoded through fused decode steps.",
+		func() float64 { return float64(e.decTokens.Load()) })
+	reg.CounterFunc("rt3_decode_prefills_total",
+		"Fused prompt prefill passes.",
+		func() float64 { return float64(e.decPrefills.Load()) })
+	reg.CounterFunc("rt3_decode_cached_rows_total",
+		"K/V rows served from caches instead of recomputed.",
+		func() float64 { return float64(e.decCachedRows.Load()) })
+	reg.CounterFunc("rt3_decode_states_total",
+		"DecodeStates built (stays at the slot count under free-list reuse).",
+		func() float64 { return float64(e.decStates.Load()) })
+	reg.GaugeFunc("rt3_level", "Active V/F level index (bundle order, fastest first).",
+		func() float64 { return float64(e.Level()) })
+	e.recon.RegisterMetrics(reg)
 }
 
 // DecodeStats returns the cumulative incremental-decoding counters.

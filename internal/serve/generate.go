@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"rt3/internal/obs"
 	"rt3/internal/transformer"
 )
 
@@ -36,6 +37,7 @@ type genReq struct {
 	eos       int
 	enq       time.Time
 	resp      chan GenResponse
+	tr        *obs.Trace // nil when tracing is disabled
 }
 
 // SubmitGen admits one generation request and returns the channel its
@@ -63,10 +65,12 @@ func (s *Server) SubmitGen(prompt []int, maxTokens, eos int) (<-chan GenResponse
 		return nil, ErrStopped
 	}
 	r := &genReq{prompt: prompt, maxTokens: maxTokens, eos: eos, enq: time.Now(), resp: make(chan GenResponse, 1)}
+	r.tr = s.tracer.StartAt("generate", r.enq)
 	select {
 	case s.genIn <- r:
 		return r.resp, nil
 	default:
+		s.tracer.Abort(r.tr)
 		s.rec.ObserveDrop()
 		return nil, ErrQueueFull
 	}
@@ -147,6 +151,7 @@ func (s *Server) decodeWorker(replica int) {
 			for _, r := range admit {
 				st, err := s.takeState(replica, &free)
 				if err != nil {
+					s.tracer.Abort(r.tr)
 					r.resp <- GenResponse{Err: err}
 					continue
 				}
@@ -156,17 +161,25 @@ func (s *Server) decodeWorker(replica int) {
 				prompts = append(prompts, r.prompt)
 			}
 			if len(states) > 0 {
+				rows := 0
+				for _, p := range prompts {
+					rows += len(p)
+				}
 				dispatch := time.Now()
 				outs, err := s.eng.PrefillBatch(replica, states, prompts)
 				s.simDVFSDelay(level, dispatch)
-				prefillMS := float64(time.Since(dispatch).Microseconds()) / 1000
+				prefillDur := time.Since(dispatch)
+				prefillMS := float64(prefillDur.Microseconds()) / 1000
 				s.rec.ObserveBatch(len(states), s.cfg.MaxBatch)
 				for i, r := range admitOK {
 					if err != nil {
 						free = append(free, states[i])
+						s.tracer.Abort(r.tr)
 						r.resp <- GenResponse{Err: err}
 						continue
 					}
+					r.tr.Add("queue", r.enq, dispatch.Sub(r.enq), "batch", float64(len(states)), "", 0)
+					r.tr.Add("prefill", dispatch, prefillDur, "rows", float64(rows), "level", float64(level))
 					sl := &genSlot{
 						req: r, st: states[i],
 						queueMS:   float64(dispatch.Sub(r.enq).Microseconds()) / 1000,
@@ -192,13 +205,19 @@ func (s *Server) decodeWorker(replica int) {
 			t0 := time.Now()
 			logits, err := s.eng.DecodeBatch(replica, states, tokens)
 			s.simDVFSDelay(level, t0)
-			stepMS := float64(time.Since(t0).Microseconds()) / 1000
+			stepDur := time.Since(t0)
+			stepMS := float64(stepDur.Microseconds()) / 1000
 			n := 0
 			for i, sl := range slots {
+				if s.tracer.SampleStep(sl.steps) {
+					sl.req.tr.Add("decode_step", t0, stepDur,
+						"step", float64(sl.steps), "batch", float64(len(slots)))
+				}
 				sl.steps++
 				sl.decodeMS += stepMS
 				if err != nil {
 					free = append(free, sl.st)
+					s.tracer.Abort(sl.req.tr)
 					sl.req.resp <- GenResponse{Err: err}
 					continue
 				}
@@ -244,6 +263,9 @@ func (s *Server) finishGen(sl *genSlot, level int) {
 		DecodeMS:  sl.decodeMS,
 		TotalMS:   float64(time.Since(sl.req.enq).Microseconds()) / 1000,
 	}
+	sl.req.tr.Add("finish", time.Now(), 0,
+		"tokens", float64(len(sl.tokens)), "steps", float64(sl.steps))
+	s.tracer.Finish(sl.req.tr)
 	s.rec.Observe(level, sl.queueMS, sl.prefillMS+sl.decodeMS)
 	s.rec.ObserveTokens(len(sl.tokens))
 	s.drainEnergy(level, len(sl.tokens))

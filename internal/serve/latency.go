@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"rt3/internal/metrics"
+	"rt3/internal/obs"
 )
 
 // recentWindow bounds the sliding latency sample fed to the policy.
@@ -32,16 +33,18 @@ type LevelStats struct {
 // Recorder accumulates serving observations: per-level request latencies
 // (queue wait and execution recorded separately), batch sizes and fill
 // ratios, queue drops, generated tokens, and reconfiguration events.
-// Alongside the cumulative digests it maintains sliding windows over the
-// most recent samples — the live telemetry the level policies and the
-// closed-loop autotuner decide on. All methods are safe for concurrent
-// use.
+// It is a façade over obs registry instruments — every counter and sum
+// lives in a Registry and is scraped via /metrics — plus two sample
+// stores the registry cannot carry losslessly: exact per-level latency
+// slices (Snapshot/Overall quantiles are exact, not bucketed) and the
+// sliding telemetry windows the level policies and the closed-loop
+// autotuner decide on. All methods are safe for concurrent use.
 type Recorder struct {
+	reg *obs.Registry
+
 	mu         sync.Mutex
 	levelNames []string
 	perLevel   [][]float64 // total (queue + execution) latency ms
-	queueSum   []float64   // per-level queue-wait sums
-	execSum    []float64   // per-level execution sums
 
 	// sliding telemetry windows across levels (recentWindow samples)
 	recent      *metrics.Window // total latency ms
@@ -50,44 +53,87 @@ type Recorder struct {
 	recentN     *metrics.Window // dispatched batch sizes
 	recentCap   *metrics.Window // dispatched batch capacities (MaxBatch)
 
-	batches       int
-	batchRequests int
-	batchCapacity int // sum of MaxBatch across dispatched batches
-	drops         int
-	completed     int64 // requests (or generations) finished
-	tokens        int64 // generated tokens (generation mode)
-
-	switches      int
-	switchModelMS float64 // modeled reconfiguration cost
-	switchWallMS  float64 // measured kernel-install wall time
+	// registry-backed instruments (atomic; not guarded by mu)
+	reqs        []*obs.Counter // rt3_requests_total{level}
+	queueSum    []*obs.Counter // rt3_queue_wait_ms_total{level}
+	execSum     []*obs.Counter // rt3_exec_ms_total{level}
+	latencyH    *obs.Histogram // rt3_request_latency_ms
+	queueH      *obs.Histogram // rt3_queue_wait_ms
+	execH       *obs.Histogram // rt3_exec_ms
+	tokens      *obs.Counter   // rt3_gen_tokens_total
+	drops       *obs.Counter   // rt3_requests_dropped_total
+	batches     *obs.Counter   // rt3_batches_total
+	batchReqs   *obs.Counter   // rt3_batched_requests_total
+	batchCap    *obs.Counter   // rt3_batch_capacity_total
+	switches    *obs.Counter   // rt3_switches_total
+	switchModel *obs.Counter   // rt3_switch_model_ms_total
+	switchStall *obs.Histogram // rt3_switch_stall_ms (wall install/drain)
 }
 
-// NewRecorder sizes a recorder for the given level names.
+// NewRecorder sizes a recorder for the given level names on a private
+// registry (reachable via Metrics) — the constructor tests and
+// benchmarks use. Servers share one registry via NewRecorderOn.
 func NewRecorder(levelNames []string) *Recorder {
-	return &Recorder{
+	return NewRecorderOn(obs.NewRegistry(), levelNames)
+}
+
+// NewRecorderOn sizes a recorder for the given level names, registering
+// its instruments on reg.
+func NewRecorderOn(reg *obs.Registry, levelNames []string) *Recorder {
+	r := &Recorder{
+		reg:         reg,
 		levelNames:  levelNames,
 		perLevel:    make([][]float64, len(levelNames)),
-		queueSum:    make([]float64, len(levelNames)),
-		execSum:     make([]float64, len(levelNames)),
 		recent:      metrics.NewWindow(recentWindow),
 		recentQueue: metrics.NewWindow(recentWindow),
 		recentExec:  metrics.NewWindow(recentWindow),
 		recentN:     metrics.NewWindow(recentWindow),
 		recentCap:   metrics.NewWindow(recentWindow),
+
+		latencyH: reg.Histogram("rt3_request_latency_ms", "Admission-to-completion latency, all levels.", obs.HistogramOpts{}),
+		queueH:   reg.Histogram("rt3_queue_wait_ms", "Admission-to-dispatch wait, all levels.", obs.HistogramOpts{}),
+		execH:    reg.Histogram("rt3_exec_ms", "Packed-forward execution time, all levels.", obs.HistogramOpts{}),
+		tokens:   reg.Counter("rt3_gen_tokens_total", "Generated tokens (generation mode)."),
+		drops:    reg.Counter("rt3_requests_dropped_total", "Requests rejected at admission."),
+		batches:  reg.Counter("rt3_batches_total", "Dispatched dynamic batches."),
+		batchReqs: reg.Counter("rt3_batched_requests_total",
+			"Requests dispatched through dynamic batches."),
+		batchCap: reg.Counter("rt3_batch_capacity_total",
+			"Sum of MaxBatch across dispatched batches (fill denominator)."),
+		switches: reg.Counter("rt3_switches_total", "Live pattern-set/V/F reconfigurations."),
+		switchModel: reg.Counter("rt3_switch_model_ms_total",
+			"Cumulative modeled pattern-swap cost."),
+		switchStall: reg.Histogram("rt3_switch_stall_ms",
+			"Measured per-switch kernel-install wall time (the drain stall).", obs.HistogramOpts{}),
 	}
+	for _, name := range levelNames {
+		lbl := obs.L("level", name)
+		r.reqs = append(r.reqs, reg.Counter("rt3_requests_total", "Requests completed.", lbl))
+		r.queueSum = append(r.queueSum, reg.Counter("rt3_queue_wait_ms_total",
+			"Cumulative queue wait.", lbl))
+		r.execSum = append(r.execSum, reg.Counter("rt3_exec_ms_total",
+			"Cumulative execution time.", lbl))
+	}
+	return r
 }
+
+// Metrics returns the registry backing the recorder's instruments.
+func (r *Recorder) Metrics() *obs.Registry { return r.reg }
 
 // Observe records one completed request at the given level: queueMS is
 // the admission-to-dispatch wait, execMS the packed-forward execution
 // time it rode in. Their sum enters the latency quantiles.
 func (r *Recorder) Observe(level int, queueMS, execMS float64) {
 	totalMS := queueMS + execMS
+	r.reqs[level].Inc()
+	r.queueSum[level].Add(queueMS)
+	r.execSum[level].Add(execMS)
+	r.latencyH.Observe(totalMS)
+	r.queueH.Observe(queueMS)
+	r.execH.Observe(execMS)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.perLevel[level] = append(r.perLevel[level], totalMS)
-	r.queueSum[level] += queueMS
-	r.execSum[level] += execMS
-	r.completed++
 	r.recent.Push(totalMS)
 	r.recentQueue.Push(queueMS)
 	r.recentExec.Push(execMS)
@@ -96,11 +142,11 @@ func (r *Recorder) Observe(level int, queueMS, execMS float64) {
 // ObserveBatch records one dispatched batch of n requests against the
 // configured maximum batch size (the fill denominator).
 func (r *Recorder) ObserveBatch(n, maxBatch int) {
+	r.batches.Inc()
+	r.batchReqs.Add(float64(n))
+	r.batchCap.Add(float64(maxBatch))
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.batches++
-	r.batchRequests += n
-	r.batchCapacity += maxBatch
 	r.recentN.Push(float64(n))
 	r.recentCap.Push(float64(maxBatch))
 }
@@ -108,35 +154,30 @@ func (r *Recorder) ObserveBatch(n, maxBatch int) {
 // ObserveTokens records n generated tokens (generation mode; the decode
 // worker calls it once per completed sequence).
 func (r *Recorder) ObserveTokens(n int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.tokens += int64(n)
+	r.tokens.Add(float64(n))
 }
 
 // Counters returns the cumulative completed-request and generated-token
 // counts. The autotuner differences successive reads to derive
 // throughput rates per control tick.
 func (r *Recorder) Counters() (completed, tokens int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.completed, r.tokens
+	for _, c := range r.reqs {
+		completed += int64(c.Value())
+	}
+	return completed, int64(r.tokens.Value())
 }
 
 // ObserveDrop records one request rejected at admission.
 func (r *Recorder) ObserveDrop() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.drops++
+	r.drops.Inc()
 }
 
 // ObserveSwitch records one live reconfiguration: the modeled pattern-set
 // swap cost and the measured kernel-install time, both milliseconds.
 func (r *Recorder) ObserveSwitch(modelMS, wallMS float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.switches++
-	r.switchModelMS += modelMS
-	r.switchWallMS += wallMS
+	r.switches.Inc()
+	r.switchModel.Add(modelMS)
+	r.switchStall.Observe(wallMS)
 }
 
 // RecentP95 returns the p95 latency of the sliding window (0 when empty).
@@ -191,26 +232,20 @@ func (r *Recorder) RecentStats() WindowStats {
 
 // Drops returns the rejected-request count.
 func (r *Recorder) Drops() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.drops
+	return int(r.drops.Value())
 }
 
 // Switches returns the switch count and cumulative (modeled, wall) ms.
 func (r *Recorder) Switches() (int, float64, float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.switches, r.switchModelMS, r.switchWallMS
+	return int(r.switches.Value()), r.switchModel.Value(), r.switchStall.Sum()
 }
 
 // MeanBatch returns the mean dispatched batch size (0 when none).
 func (r *Recorder) MeanBatch() float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.batches == 0 {
-		return 0
+	if n := r.batches.Value(); n > 0 {
+		return r.batchReqs.Value() / n
 	}
-	return float64(r.batchRequests) / float64(r.batches)
+	return 0
 }
 
 // FillRatio returns dispatched requests over dispatched batch capacity
@@ -220,12 +255,10 @@ func (r *Recorder) MeanBatch() float64 {
 // waste — capacity the batcher reserved but never filled — is visible
 // directly instead of hiding inside the latency numbers.
 func (r *Recorder) FillRatio() float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.batchCapacity == 0 {
-		return 0
+	if c := r.batchCap.Value(); c > 0 {
+		return r.batchReqs.Value() / c
 	}
-	return float64(r.batchRequests) / float64(r.batchCapacity)
+	return 0
 }
 
 // Snapshot returns per-level latency digests for levels that served at
@@ -249,8 +282,8 @@ func (r *Recorder) Snapshot() []LevelStats {
 			P50MS:       metrics.Quantile(lat, 0.50),
 			P95MS:       metrics.Quantile(lat, 0.95),
 			P99MS:       metrics.Quantile(lat, 0.99),
-			MeanQueueMS: r.queueSum[i] / float64(len(lat)),
-			MeanExecMS:  r.execSum[i] / float64(len(lat)),
+			MeanQueueMS: r.queueSum[i].Value() / float64(len(lat)),
+			MeanExecMS:  r.execSum[i].Value() / float64(len(lat)),
 		})
 	}
 	return out
@@ -267,8 +300,8 @@ func (r *Recorder) Overall() LevelStats {
 	var queueSum, execSum float64
 	for i, lat := range r.perLevel {
 		all = append(all, lat...)
-		queueSum += r.queueSum[i]
-		execSum += r.execSum[i]
+		queueSum += r.queueSum[i].Value()
+		execSum += r.execSum[i].Value()
 	}
 	if len(all) == 0 {
 		return LevelStats{}

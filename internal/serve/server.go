@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"rt3/internal/dvfs"
+	"rt3/internal/kernel"
 	"rt3/internal/mat"
+	"rt3/internal/obs"
 )
 
 // Admission and lifecycle errors.
@@ -60,6 +62,21 @@ type Config struct {
 	// through the drain path — recording an auditable decision trace
 	// (see Autotuner). Supersedes Policy when both are set.
 	Autotune *AutotuneConfig
+
+	// Trace configures request-scoped tracing. The zero value enables
+	// capture with the obs defaults (free-listed span buffers, sampled
+	// decode steps, a 256-trace ring); set Trace.Disabled to opt out.
+	// Traces record queue wait, batch formation, prefill, sampled decode
+	// steps, and any switch/drain stall the request overlapped, and are
+	// exported via Server.Tracer (JSONL or Chrome trace_event).
+	Trace obs.TracerConfig
+
+	// OnAutotuneDecision, when set, is invoked from the autotune loop
+	// after every control tick with the decision as applied (Switched and
+	// SwitchCostMS filled in). Callers use it to stream decision lines
+	// through a logger; the callback runs on the control loop goroutine
+	// and must not block.
+	OnAutotuneDecision func(AutotuneDecision)
 
 	// SimDVFS, when true, simulates the active V/F level's frequency in
 	// wall-clock execution: after every fused forward pass (and prefill
@@ -131,6 +148,7 @@ type request struct {
 	ids  []int
 	enq  time.Time
 	resp chan Response
+	tr   *obs.Trace // nil when tracing is disabled
 }
 
 // Status is the server state snapshot handed to the level policy.
@@ -151,10 +169,12 @@ type Status struct {
 // swaps the active pattern set and V/F level on the engine, and charges
 // the modeled reconfiguration cost.
 type Server struct {
-	cfg   Config
-	eng   *Engine
-	rec   *Recorder
-	tuner *Autotuner // non-nil when Config.Autotune is set
+	cfg    Config
+	eng    *Engine
+	rec    *Recorder
+	reg    *obs.Registry
+	tracer *obs.Tracer // nil when Config.Trace.Disabled
+	tuner  *Autotuner  // non-nil when Config.Autotune is set
 
 	batMu   sync.Mutex
 	battery *dvfs.Battery // guarded by batMu
@@ -182,10 +202,13 @@ func New(eng *Engine, cfg Config) *Server {
 	if cfg.Generate && !eng.SupportsDecode() {
 		panic("serve: Config.Generate requires model replicas implementing DecodeModel (e.g. transformer.LMModel)")
 	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:     cfg,
 		eng:     eng,
-		rec:     NewRecorder(eng.bundle.LevelNames),
+		rec:     NewRecorderOn(reg, eng.bundle.LevelNames),
+		reg:     reg,
+		tracer:  obs.NewTracer(cfg.Trace),
 		in:      make(chan *request, cfg.QueueCap),
 		genIn:   make(chan *genReq, cfg.QueueCap),
 		batches: make(chan []*request, eng.Replicas()),
@@ -202,12 +225,29 @@ func New(eng *Engine, cfg Config) *Server {
 		s.tuner = tuner
 		ac := tuner.cfg // defaults resolved once, the loop reads them
 		s.cfg.Autotune = &ac
+		tuner.RegisterMetrics(reg)
 	}
+	eng.RegisterMetrics(reg)
+	kernel.RegisterMetrics(reg)
+	s.tracer.RegisterMetrics(reg)
+	reg.GaugeFunc("rt3_queue_depth", "Admitted-but-unserved requests.",
+		func() float64 { return float64(len(s.in) + len(s.genIn)) })
+	reg.GaugeFunc("rt3_battery_fraction", "Simulated state of charge (1 when disabled).",
+		s.BatteryFraction)
 	return s
 }
 
 // Recorder exposes the server's observation sink.
 func (s *Server) Recorder() *Recorder { return s.rec }
+
+// Metrics exposes the server's metrics registry — every instrument the
+// recorder, engine, reconfigurator, tracer and autotuner register. The
+// admin endpoint serves it as /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Tracer exposes the server's request tracer (nil when tracing is
+// disabled); its ring holds the most recent finished request traces.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Engine exposes the underlying execution engine.
 func (s *Server) Engine() *Engine { return s.eng }
@@ -264,10 +304,12 @@ func (s *Server) Submit(ids []int) (<-chan Response, error) {
 		return nil, ErrStopped
 	}
 	r := &request{ids: ids, enq: time.Now(), resp: make(chan Response, 1)}
+	r.tr = s.tracer.StartAt("request", r.enq)
 	select {
 	case s.in <- r:
 		return r.resp, nil
 	default:
+		s.tracer.Abort(r.tr)
 		s.rec.ObserveDrop()
 		return nil, ErrQueueFull
 	}
@@ -295,9 +337,11 @@ func (s *Server) Stop() {
 		return
 	}
 	for r := range s.in {
+		s.tracer.Abort(r.tr)
 		r.resp <- Response{Err: ErrStopped}
 	}
 	for r := range s.genIn {
+		s.tracer.Abort(r.tr)
 		r.resp <- GenResponse{Err: ErrStopped}
 	}
 }
@@ -345,7 +389,9 @@ func (s *Server) SwitchTo(idx int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	s.rec.ObserveSwitch(cost, float64(time.Since(t0).Microseconds())/1000)
+	wall := time.Since(t0)
+	s.tracer.ObserveSwitch(wall)
+	s.rec.ObserveSwitch(cost, float64(wall.Microseconds())/1000)
 	return cost, nil
 }
 
@@ -421,6 +467,8 @@ func (s *Server) worker(replica int) {
 		s.simDVFSDelay(level, dispatch)
 		done := time.Now()
 		execMS := float64(done.Sub(dispatch).Microseconds()) / 1000
+		fill := float64(len(batch)) / float64(s.cfg.MaxBatch)
+		gemms := float64(s.eng.PrunableLinearCount())
 		for i, r := range batch {
 			queueMS := float64(dispatch.Sub(r.enq).Microseconds()) / 1000
 			r.resp <- Response{
@@ -431,6 +479,10 @@ func (s *Server) worker(replica int) {
 				TotalMS:   queueMS + execMS,
 				BatchSize: len(batch),
 			}
+			r.tr.Add("queue", r.enq, dispatch.Sub(r.enq), "batch", float64(len(batch)), "", 0)
+			r.tr.Add("batch_form", dispatch, 0, "fill", fill, "fused_gemms", gemms)
+			r.tr.Add("exec", dispatch, done.Sub(dispatch), "level", float64(level), "batch", float64(len(batch)))
+			s.tracer.Finish(r.tr)
 			s.rec.Observe(level, queueMS, execMS)
 			s.drainEnergy(level, 1)
 		}
