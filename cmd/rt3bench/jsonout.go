@@ -11,12 +11,13 @@ import (
 var jsonRep *jsonReport
 
 // jsonReport is the -json output shape: one section per structured
-// experiment (kernels, decode, autotune), each carrying its result rows
-// plus a snapshot of the obs instruments the run touched.
+// experiment (kernels, decode, autotune, cluster), each carrying its
+// result rows plus a snapshot of the obs instruments the run touched.
 type jsonReport struct {
 	Kernels  *kernelsSection  `json:"kernels,omitempty"`
 	Decode   *decodeSection   `json:"decode,omitempty"`
 	Autotune *autotuneSection `json:"autotune,omitempty"`
+	Cluster  *clusterSection  `json:"cluster,omitempty"`
 }
 
 type kernelsSection struct {
@@ -78,6 +79,42 @@ type autotuneRow struct {
 	RelEnergy       float64 `json:"rel_energy"`
 	Switches        int     `json:"switches"`
 	Reward          float64 `json:"reward"`
+}
+
+type clusterSection struct {
+	Policy      string          `json:"policy"`
+	StepFloorMS float64         `json:"step_floor_ms"`
+	Scaling     []clusterArmRow `json:"scaling"`
+	// SpeedupX is aggregate tok/s of the largest scaling arm over the
+	// smallest (the enforced >= 1.8x contract at 4 vs 1).
+	SpeedupX float64            `json:"speedup_x"`
+	Rollout  *clusterPhaseRow   `json:"rollout"`
+	Failover *clusterPhaseRow   `json:"failover"`
+	Metrics  map[string]float64 `json:"metrics"` // largest scaling arm's rt3_cluster_* registry
+}
+
+type clusterArmRow struct {
+	Nodes        int     `json:"nodes"`
+	Offered      int     `json:"offered"`
+	Completed    int     `json:"completed"`
+	Dropped      int     `json:"dropped"`
+	Failed       int     `json:"failed"`
+	TokensPerSec float64 `json:"tok_per_s"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	AffinityRate float64 `json:"affinity_hit_rate"`
+	Decisions    int     `json:"decisions"`
+}
+
+type clusterPhaseRow struct {
+	Nodes        int     `json:"nodes"`
+	Completed    int     `json:"completed"`
+	Failed       int     `json:"failed"`
+	Failovers    int64   `json:"failovers,omitempty"`
+	Rollouts     int64   `json:"rollouts,omitempty"`
+	Verified     int     `json:"verified"`
+	Mismatches   int     `json:"mismatches"`
+	AffinityRate float64 `json:"affinity_hit_rate"`
 }
 
 // writeJSONReport serializes the collected report to path.

@@ -6,10 +6,11 @@
 //
 //	rt3bench -exp all
 //	rt3bench -exp tab3 -scale small
-//	rt3bench -exp tab1|tab2|tab3|tab4|fig3a|fig3bc|fig4|fig5|kernels|decode|autotune
+//	rt3bench -exp tab1|tab2|tab3|tab4|fig3a|fig3bc|fig4|fig5|kernels|decode|autotune|cluster
 //	rt3bench -exp kernels -kernel pattern,dense -workers 4
 //	rt3bench -exp decode -decode-prompt 64 -decode-gen 64 -decode-batch 8
 //	rt3bench -exp autotune -autotune-duration 3s -autotune-rps 300
+//	rt3bench -exp cluster -cluster-nodes 1,2,4 -cluster-rps 700
 package main
 
 import (
@@ -17,15 +18,33 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"rt3/internal/experiments"
 )
 
+// parseNodeCounts parses the -cluster-nodes list and sorts it ascending
+// (the scaling ratio compares the last arm to the first).
+func parseNodeCounts(s string) ([]int, error) {
+	var nodes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cluster-nodes entry %q (want positive node counts)", part)
+		}
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	return nodes, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rt3bench: ")
-	exp := flag.String("exp", "all", "experiment: all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels, decode, autotune")
+	exp := flag.String("exp", "all", "experiment: all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels, decode, autotune, cluster")
 	scaleFlag := flag.String("scale", "tiny", "model scale: tiny or small")
 	kernels := flag.String("kernel", "all", "kernels experiment: comma-separated registry formats (dense, coo, csr, blockcsr, pattern) or all")
 	workers := flag.Int("workers", 1, "kernels experiment: parallel executor width per kernel")
@@ -45,7 +64,16 @@ func main() {
 	atBattery := flag.Float64("autotune-battery", 0.6, "autotune experiment: battery capacity in joules")
 	atTarget := flag.Float64("autotune-target", 15, "autotune experiment: latency objective in ms")
 	atSeed := flag.Int64("autotune-seed", 1, "autotune experiment: rng seed (decision trace is reproducible from it)")
-	jsonPath := flag.String("json", "", "write structured results plus a metrics snapshot to this file (kernels, decode and autotune experiments)")
+	clNodes := flag.String("cluster-nodes", "1,2,4", "cluster experiment: comma-separated node counts for the scaling arms, ascending")
+	clDuration := flag.Duration("cluster-duration", 1200*time.Millisecond, "cluster experiment: arrival window per arm")
+	clRPS := flag.Float64("cluster-rps", 700, "cluster experiment: base arrival rate (bursts multiply it; sized to saturate one step-floored node)")
+	clBurst := flag.Float64("cluster-burst", 3, "cluster experiment: burst rate multiplier")
+	clPeriod := flag.Duration("cluster-period", 300*time.Millisecond, "cluster experiment: burst square-wave period")
+	clSessions := flag.Int("cluster-sessions", 96, "cluster experiment: distinct session keys")
+	clStep := flag.Duration("cluster-step-floor", time.Millisecond, "cluster experiment: minimum wall time per fused step — pins per-node capacity so the scaling ratio measures the cluster, not the host")
+	clPolicy := flag.String("cluster-policy", "least-loaded", "cluster experiment: router policy (hash, least-loaded, p2c)")
+	clSeed := flag.Int64("cluster-seed", 1, "cluster experiment: rng seed (router decision traces replay from it)")
+	jsonPath := flag.String("json", "", "write structured results plus a metrics snapshot to this file (kernels, decode, autotune and cluster experiments)")
 	flag.Parse()
 	if *jsonPath != "" {
 		jsonRep = &jsonReport{}
@@ -170,14 +198,31 @@ func main() {
 			seed:        *atSeed,
 		})
 	})
+	run("cluster", func() error {
+		nodes, err := parseNodeCounts(*clNodes)
+		if err != nil {
+			return err
+		}
+		return runClusterBench(clusterBenchSpec{
+			nodes:       nodes,
+			duration:    *clDuration,
+			rps:         *clRPS,
+			burstPeriod: *clPeriod,
+			burstFactor: *clBurst,
+			sessions:    *clSessions,
+			stepFloor:   *clStep,
+			policy:      *clPolicy,
+			seed:        *clSeed,
+		})
+	})
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels, decode or autotune)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels, decode, autotune or cluster)\n", *exp)
 		os.Exit(2)
 	}
 	if jsonRep != nil {
-		if jsonRep.Kernels == nil && jsonRep.Decode == nil && jsonRep.Autotune == nil {
-			log.Fatalf("-json collects kernels, decode and autotune results; -exp %s produced none", *exp)
+		if jsonRep.Kernels == nil && jsonRep.Decode == nil && jsonRep.Autotune == nil && jsonRep.Cluster == nil {
+			log.Fatalf("-json collects kernels, decode, autotune and cluster results; -exp %s produced none", *exp)
 		}
 		if err := writeJSONReport(*jsonPath); err != nil {
 			log.Fatalf("-json: %v", err)

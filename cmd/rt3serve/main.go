@@ -27,6 +27,20 @@
 // classification and generation mode — in the latter, switches land
 // mid-generation at decode-step granularity.
 //
+// With -cluster N the deployment is replicated onto N simulated
+// in-process nodes behind the session-affine cluster router (generation
+// mode implied): requests carry session keys, the -router policy places
+// unpinned sessions, a mid-run rollout drains each node in turn and
+// switches its level with zero failed responses, and every routing
+// decision lands in a seeded trace that is replay-verified before exit.
+// In cluster mode -trace-out writes that decision trace (JSON,
+// replayable via cluster.Replay) instead of the Chrome trace dump, and
+// -verify dense-checks every generation.
+//
+// SIGINT/SIGTERM drain gracefully in every -load mode: arrivals stop,
+// in-flight requests finish, reports print, and -trace-out flushes. The
+// admin /readyz endpoint flips to 503 the moment the drain begins.
+//
 // Usage:
 //
 //	rt3serve
@@ -36,9 +50,12 @@
 //	rt3serve -gen
 //	rt3serve -gen -load -gen-tokens 24 -rps-start 100 -rps-end 400
 //	rt3serve -gen -load -autotune -duration 3s
+//	rt3serve -cluster 4
+//	rt3serve -cluster 4 -router least-loaded -load -duration 3s -step-floor 1ms
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -46,6 +63,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"rt3/internal/deploy"
@@ -91,6 +110,11 @@ func main() {
 		genTok   = flag.Int("gen-tokens", 16, "generation mode: max tokens per request (load mode samples budgets in [max/2, max])")
 		genPrmpt = flag.Int("gen-prompt", 10, "generation mode: max prompt length (load mode samples lengths in [max/2, max])")
 
+		clusterN  = flag.Int("cluster", 0, "run N simulated nodes behind the session-affine cluster router (implies -gen)")
+		routerPol = flag.String("router", "hash", "cluster dispatch policy: hash (rendezvous on the session key), least-loaded, or p2c")
+		sessions  = flag.Int("sessions", 64, "cluster mode: distinct session keys in the generated load")
+		stepFloor = flag.Duration("step-floor", 0, "minimum wall time per fused execution step (models per-node compute capacity; cluster scaling demos rely on it)")
+
 		adminAddr = flag.String("admin-addr", "", "serve /metrics, /trace, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
 		traceOut  = flag.String("trace-out", "", "write retained request traces as Chrome trace_event JSON to this file on exit")
 		quiet     = flag.Bool("quiet", false, "suppress progress logging (warnings and errors only)")
@@ -98,6 +122,45 @@ func main() {
 	)
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, "rt3serve: ", obs.LevelFromFlags(*quiet, *verbose))
+	drain := installDrainHandler(logger)
+
+	if *clusterN > 0 {
+		if *autotune {
+			log.Fatal("-autotune drives a single server's level; cluster mode rolls levels out via drained switches instead")
+		}
+		// the single-server default battery (sized to force switches in a
+		// 2s demo) would knock every node out of rotation mid-load; in
+		// cluster mode the battery only drains when asked for explicitly
+		clusterBattery := 0.0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "battery-j" {
+				clusterBattery = *batteryJ
+			}
+		})
+		runCluster(logger, drain, clusterOpts{
+			nodes:     *clusterN,
+			policy:    *routerPol,
+			load:      *load,
+			duration:  *duration,
+			rps:       *rpsStart,
+			sessions:  *sessions,
+			workers:   *workers,
+			format:    *format,
+			kworkers:  *kworkers,
+			batch:     *batch,
+			maxDelay:  *maxDelay,
+			stepFloor: *stepFloor,
+			simDVFS:   *simDVFS,
+			batteryJ:  clusterBattery,
+			seed:      *seed,
+			verify:    *verify,
+			genTok:    *genTok,
+			genPrmpt:  *genPrmpt,
+			adminAddr: *adminAddr,
+			traceOut:  *traceOut,
+		})
+		return
+	}
 
 	eng, bundleBytes, bundle := buildDeployment(*seed, *workers, *gen, serve.EngineConfig{
 		Format:        *format,
@@ -142,6 +205,7 @@ func main() {
 		BatteryJ:     *batteryJ,
 		Generate:     *gen,
 		MaxGenTokens: *genTok,
+		StepFloor:    *stepFloor,
 		OnAutotuneDecision: func(d serve.AutotuneDecision) {
 			sw := "-"
 			if d.Switched {
@@ -164,9 +228,18 @@ func main() {
 		mux := obs.NewAdminMux(obs.AdminOptions{
 			Registries: []*obs.Registry{srv.Metrics()},
 			Tracer:     srv.Tracer(),
+			Ready: func() error {
+				if draining(drain) {
+					return errors.New("draining: shutdown in progress")
+				}
+				if srv.Stopped() {
+					return errors.New("server stopped: admission closed")
+				}
+				return nil
+			},
 		})
 		go func() { _ = http.Serve(ln, mux) }()
-		logger.Infof("admin endpoint on http://%s (/metrics /trace /healthz /debug/pprof)", ln.Addr())
+		logger.Infof("admin endpoint on http://%s (/metrics /trace /healthz /readyz /debug/pprof)", ln.Addr())
 	}
 
 	if !*load {
@@ -191,6 +264,7 @@ func main() {
 		SeqLen:       10,
 		Vocab:        24,
 		Seed:         *seed,
+		Cancel:       drain,
 		Verify:       *verify && !*gen,
 		Gen:          *gen,
 		GenPromptMin: (*genPrmpt + 1) / 2,
@@ -205,11 +279,40 @@ func main() {
 	printBatchStats(eng)
 	printDecodeStats(eng)
 	printAutotune(srv, *atLog)
-	if report.Switches == 0 {
+	if report.Switches == 0 && !draining(drain) {
 		log.Fatal("demo expected at least one live level switch; raise -duration or lower -battery-j")
 	}
 	if report.Dropped > 0 || report.Mismatches > 0 {
 		log.Fatalf("demo failed: %d dropped, %d incorrect", report.Dropped, report.Mismatches)
+	}
+}
+
+// installDrainHandler arms graceful shutdown: the first SIGINT/SIGTERM
+// closes the returned channel, which stops the load generators from
+// admitting new arrivals while in-flight work runs to completion, so the
+// normal exit path still prints reports and flushes -trace-out. The
+// admin /readyz probe fails from that moment on. A second signal falls
+// back to the runtime default (hard kill).
+func installDrainHandler(logger *obs.Logger) <-chan struct{} {
+	drain := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		logger.Infof("%s received: draining (arrivals stop, in-flight work finishes; repeat to force quit)", s)
+		close(drain)
+		signal.Stop(sig)
+	}()
+	return drain
+}
+
+// draining reports whether graceful shutdown has begun.
+func draining(drain <-chan struct{}) bool {
+	select {
+	case <-drain:
+		return true
+	default:
+		return false
 	}
 }
 

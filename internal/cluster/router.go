@@ -1,0 +1,538 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rt3/internal/obs"
+	"rt3/internal/serve"
+)
+
+// Routing errors.
+var (
+	// ErrNoReadyNodes means no node is accepting traffic — every member
+	// is cold, draining, down, or battery-exhausted.
+	ErrNoReadyNodes = errors.New("cluster: no ready nodes")
+)
+
+// Config tunes the router. Zero values pick the documented defaults.
+type Config struct {
+	// Policy places requests without a live session pin (default
+	// HashPolicy — rendezvous hashing on the session key).
+	Policy Policy
+	// Seed feeds the router rng (consumed only by randomized policies)
+	// and stamps the decision trace; the same seed over the same request
+	// sequence reproduces every routing decision.
+	Seed int64
+	// FailoverRetries caps how many times one request is re-dispatched
+	// after crashes before its ErrCrashed response is surfaced to the
+	// caller (default 3).
+	FailoverRetries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == nil {
+		c.Policy = HashPolicy{}
+	}
+	if c.FailoverRetries <= 0 {
+		c.FailoverRetries = 3
+	}
+	return c
+}
+
+// Stats is a snapshot of the router's cumulative counters.
+type Stats struct {
+	// Dispatches counts requests handed to a node (failover re-dispatches
+	// included).
+	Dispatches int64
+	// AffinityHits are dispatches served by the session's pinned node;
+	// AffinityMisses are forced re-pins (the pinned node had left
+	// rotation or refused); SessionPins are first-time placements.
+	AffinityHits, AffinityMisses, SessionPins int64
+	// Failovers counts crash recoveries — generations re-submitted with
+	// their committed prefix onto a healthy node.
+	Failovers int64
+	// Drops counts requests shed with ErrQueueFull.
+	Drops int64
+	// Rollouts counts completed RolloutSwitch sweeps.
+	Rollouts int64
+}
+
+// AffinityHitRate is hits over pinned dispatches (hits + forced
+// re-pins); first-time placements are not held against it. 1 when no
+// pinned dispatch happened yet.
+func (s Stats) AffinityHitRate() float64 {
+	if s.AffinityHits+s.AffinityMisses == 0 {
+		return 1
+	}
+	return float64(s.AffinityHits) / float64(s.AffinityHits+s.AffinityMisses)
+}
+
+// Router fronts a set of nodes: Submit and SubmitGen route requests via
+// the configured policy with session affinity for generations, watch
+// for crashed responses and fail them over (truncate-replay through
+// serve.SubmitGenResume), and record every policy decision in a
+// replayable trace. Drain/Restore and RolloutSwitch run zero-downtime
+// maintenance; the rt3_cluster_* metric families live on Metrics().
+type Router struct {
+	nodes []*Node
+	cfg   Config
+	pol   Policy
+	reg   *obs.Registry
+
+	// mu serializes routing: session-pin resolution, the policy pick
+	// (and its rng consumption), the trace append, and the admission
+	// attempt happen atomically per dispatch, which is what makes the
+	// decision trace replayable.
+	mu       sync.Mutex
+	rng      *rand.Rand
+	sessions map[uint64]int // session key -> node ID holding its pin
+	trace    []Decision
+
+	wg sync.WaitGroup // response-forwarding goroutines
+
+	dispatches     atomic.Int64
+	affinityHits   atomic.Int64
+	affinityMisses atomic.Int64
+	sessionPins    atomic.Int64
+	failovers      atomic.Int64
+	drops          atomic.Int64
+	rollouts       atomic.Int64
+
+	replayTokens *obs.Histogram
+	drainMS      *obs.Histogram
+}
+
+// New builds a router over the given nodes. Node IDs must equal their
+// index (the routing tables are index-addressed); New panics otherwise,
+// as this is a construction bug, not a runtime condition.
+func New(nodes []*Node, cfg Config) *Router {
+	if len(nodes) == 0 {
+		panic("cluster: router needs at least one node")
+	}
+	for i, nd := range nodes {
+		if nd.ID != i {
+			panic(fmt.Sprintf("cluster: node at index %d has ID %d; IDs must equal indices", i, nd.ID))
+		}
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{
+		nodes:    nodes,
+		cfg:      cfg,
+		pol:      cfg.Policy,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		sessions: make(map[uint64]int),
+	}
+	r.registerMetrics()
+	return r
+}
+
+// Nodes exposes the member list (index == node ID).
+func (r *Router) Nodes() []*Node { return r.nodes }
+
+// Policy returns the active dispatch policy.
+func (r *Router) Policy() Policy { return r.pol }
+
+// Start launches every cold node.
+func (r *Router) Start() {
+	for _, nd := range r.nodes {
+		nd.Start()
+	}
+}
+
+// ReadyNodes returns how many members currently accept traffic.
+func (r *Router) ReadyNodes() int {
+	n := 0
+	for _, nd := range r.nodes {
+		if nd.Ready() {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats snapshots the router counters.
+func (r *Router) Stats() Stats {
+	return Stats{
+		Dispatches:     r.dispatches.Load(),
+		AffinityHits:   r.affinityHits.Load(),
+		AffinityMisses: r.affinityMisses.Load(),
+		SessionPins:    r.sessionPins.Load(),
+		Failovers:      r.failovers.Load(),
+		Drops:          r.drops.Load(),
+		Rollouts:       r.rollouts.Load(),
+	}
+}
+
+// Trace snapshots the decision log with the policy and seed that
+// produced it; cluster.Replay verifies it reproduces.
+func (r *Router) Trace() Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Trace{
+		Policy:    r.pol.Name(),
+		Seed:      r.cfg.Seed,
+		Decisions: append([]Decision(nil), r.trace...),
+	}
+}
+
+// Metrics exposes the rt3_cluster_* registry (serve it alongside the
+// per-node registries on the admin mux).
+func (r *Router) Metrics() *obs.Registry { return r.reg }
+
+// SubmitGen routes one generation request: the session's pinned node if
+// it is ready (affinity — consecutive generations of one session land
+// where their KV/prefix locality is), otherwise a policy pick that
+// becomes the new pin. The returned channel delivers exactly one
+// response; a node crash mid-generation is handled inside — the
+// committed prefix fails over to a healthy node via truncate-replay and
+// the caller only ever sees the completed stream (or an error after
+// FailoverRetries unlucky attempts). maxTokens and eos follow
+// serve.SubmitGen conventions.
+func (r *Router) SubmitGen(key uint64, prompt []int, maxTokens, eos int) (<-chan serve.GenResponse, error) {
+	nd, ch, err := r.dispatchGen(key, prompt, nil, maxTokens, eos, DecisionRoute)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan serve.GenResponse, 1)
+	r.wg.Add(1)
+	go r.awaitGen(out, key, prompt, maxTokens, eos, nd, ch)
+	return out, nil
+}
+
+// Submit routes one classification request. No session pin is involved
+// (there is no KV cache to be affine to) — the policy picks per
+// request, and a crashed response is transparently re-dispatched whole.
+func (r *Router) Submit(key uint64, ids []int) (<-chan serve.Response, error) {
+	nd, ch, err := r.dispatch(key, ids, DecisionRoute)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan serve.Response, 1)
+	r.wg.Add(1)
+	go r.await(out, key, ids, nd, ch)
+	return out, nil
+}
+
+// dispatchGen resolves and performs one generation admission under the
+// router lock: affinity first, then policy picks with refusing nodes
+// excluded, each pick recorded in the trace. Every successful dispatch
+// increments the node's in-flight accounting before the lock releases,
+// so a drain starting afterwards sees it.
+func (r *Router) dispatchGen(key uint64, prompt, prefix []int, maxTokens, eos int, kind string) (*Node, <-chan serve.GenResponse, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	if id, ok := r.sessions[key]; ok {
+		nd := r.nodes[id]
+		if nd.Ready() {
+			ch, err := nd.srv.SubmitGenResume(prompt, prefix, maxTokens, eos)
+			switch {
+			case err == nil:
+				r.affinityHits.Add(1)
+				r.commit(nd)
+				return nd, ch, nil
+			case errors.Is(err, serve.ErrQueueFull):
+				// load-shed rather than silently migrating the session
+				// for transient pressure: the pin survives, the caller
+				// sees the drop
+				r.drops.Add(1)
+				return nil, nil, err
+			case nd.srv.Stopped():
+				// lost the race with a crash/stop: fall through to re-pin
+			default:
+				return nil, nil, err
+			}
+		}
+		delete(r.sessions, key)
+		r.affinityMisses.Add(1)
+		if kind == DecisionRoute {
+			kind = DecisionRepin
+		}
+	} else if kind == DecisionRoute {
+		r.sessionPins.Add(1)
+	}
+
+	excluded := make(map[int]bool)
+	sawFull := false
+	for {
+		ready, loads := r.readySet(excluded)
+		if len(ready) == 0 {
+			if sawFull {
+				r.drops.Add(1)
+				return nil, nil, serve.ErrQueueFull
+			}
+			return nil, nil, ErrNoReadyNodes
+		}
+		id := r.pol.Pick(key, ready, loads, r.rng)
+		r.record(kind, key, ready, loads, id)
+		nd := r.nodes[id]
+		ch, err := nd.srv.SubmitGenResume(prompt, prefix, maxTokens, eos)
+		switch {
+		case err == nil:
+			r.sessions[key] = id
+			r.commit(nd)
+			return nd, ch, nil
+		case errors.Is(err, serve.ErrQueueFull):
+			sawFull = true
+		case nd.srv.Stopped():
+			// crashed between the ready check and admission
+		default:
+			return nil, nil, err
+		}
+		excluded[id] = true
+	}
+}
+
+// dispatch is dispatchGen's classification twin: no session state, same
+// pick/record/exclude loop.
+func (r *Router) dispatch(key uint64, ids []int, kind string) (*Node, <-chan serve.Response, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	excluded := make(map[int]bool)
+	sawFull := false
+	for {
+		ready, loads := r.readySet(excluded)
+		if len(ready) == 0 {
+			if sawFull {
+				r.drops.Add(1)
+				return nil, nil, serve.ErrQueueFull
+			}
+			return nil, nil, ErrNoReadyNodes
+		}
+		id := r.pol.Pick(key, ready, loads, r.rng)
+		r.record(kind, key, ready, loads, id)
+		nd := r.nodes[id]
+		ch, err := nd.srv.Submit(ids)
+		switch {
+		case err == nil:
+			r.commit(nd)
+			return nd, ch, nil
+		case errors.Is(err, serve.ErrQueueFull):
+			sawFull = true
+		case nd.srv.Stopped():
+		default:
+			return nil, nil, err
+		}
+		excluded[id] = true
+	}
+}
+
+// readySet lists dispatchable nodes and their load scores. Caller holds
+// r.mu.
+func (r *Router) readySet(excluded map[int]bool) ([]int, []float64) {
+	var ready []int
+	var loads []float64
+	for _, nd := range r.nodes {
+		if !excluded[nd.ID] && nd.Ready() {
+			ready = append(ready, nd.ID)
+			loads = append(loads, nd.Load())
+		}
+	}
+	return ready, loads
+}
+
+// record appends one policy decision to the trace. Caller holds r.mu.
+func (r *Router) record(kind string, key uint64, ready []int, loads []float64, node int) {
+	r.trace = append(r.trace, Decision{
+		Seq: len(r.trace), Kind: kind, Key: key,
+		Ready: ready, Loads: loads, Node: node,
+	})
+}
+
+// commit books one dispatch onto a node.
+func (r *Router) commit(nd *Node) {
+	nd.inflight.Add(1)
+	nd.dispatches.Add(1)
+	r.dispatches.Add(1)
+}
+
+// awaitGen forwards one generation's response, intercepting crashes:
+// the partial response's committed tokens are re-submitted as a resume
+// prefix on a healthy node (the crashed node's KV cache is rebuilt
+// there by teacher-forced replay — truncate-replay), transparently to
+// the caller. Exactly one send on out.
+func (r *Router) awaitGen(out chan<- serve.GenResponse, key uint64, prompt []int, maxTokens, eos int, nd *Node, ch <-chan serve.GenResponse) {
+	defer r.wg.Done()
+	for attempt := 0; ; attempt++ {
+		resp := <-ch
+		nd.inflight.Add(-1)
+		if errors.Is(resp.Err, serve.ErrCrashed) && attempt < r.cfg.FailoverRetries {
+			r.failovers.Add(1)
+			r.replayTokens.Observe(float64(len(resp.Tokens)))
+			n2, ch2, err := r.dispatchGen(key, prompt, resp.Tokens, maxTokens, eos, DecisionFailover)
+			if err == nil {
+				nd, ch = n2, ch2
+				continue
+			}
+			resp.Err = fmt.Errorf("cluster: failover: %w", err)
+		}
+		out <- resp
+		return
+	}
+}
+
+// await is awaitGen's classification twin: a crashed request is simply
+// re-dispatched whole (nothing partial to replay).
+func (r *Router) await(out chan<- serve.Response, key uint64, ids []int, nd *Node, ch <-chan serve.Response) {
+	defer r.wg.Done()
+	for attempt := 0; ; attempt++ {
+		resp := <-ch
+		nd.inflight.Add(-1)
+		if errors.Is(resp.Err, serve.ErrCrashed) && attempt < r.cfg.FailoverRetries {
+			r.failovers.Add(1)
+			n2, ch2, err := r.dispatch(key, ids, DecisionFailover)
+			if err == nil {
+				nd, ch = n2, ch2
+				continue
+			}
+			resp.Err = fmt.Errorf("cluster: failover: %w", err)
+		}
+		out <- resp
+		return
+	}
+}
+
+// Drain takes node id out of rotation and blocks until its in-flight
+// work has fully delivered — the quiesced window a rollout switches
+// levels in. Returns the drain wall time (also recorded in the
+// rt3_cluster_drain_ms histogram).
+func (r *Router) Drain(id int) (time.Duration, error) {
+	nd, err := r.node(id)
+	if err != nil {
+		return 0, err
+	}
+	if !nd.StartDrain() {
+		return 0, fmt.Errorf("cluster: node %d is %s, not active", id, nd.State())
+	}
+	t0 := time.Now()
+	nd.AwaitDrained()
+	d := time.Since(t0)
+	r.drainMS.Observe(float64(d.Microseconds()) / 1000)
+	return d, nil
+}
+
+// Restore returns a draining or drained node to rotation.
+func (r *Router) Restore(id int) error {
+	nd, err := r.node(id)
+	if err != nil {
+		return err
+	}
+	nd.Restore()
+	return nil
+}
+
+// Crash kills node id mid-flight (simulated failure). Its in-flight
+// generations surface as crashed responses that the await loops fail
+// over to the surviving nodes.
+func (r *Router) Crash(id int) error {
+	nd, err := r.node(id)
+	if err != nil {
+		return err
+	}
+	nd.Crash()
+	return nil
+}
+
+// RolloutSwitch performs a zero-downtime sweep to the given V/F level:
+// node by node, drain → switch → restore, so at every moment the rest
+// of the fleet serves traffic and no generation ever spans a level
+// switch on its node (which is what keeps every response dense-
+// verifiable at a single level). Down nodes are skipped. On a switch
+// error the node is restored at its old level and the sweep aborts.
+func (r *Router) RolloutSwitch(level int) error {
+	for _, nd := range r.nodes {
+		if nd.State() == Down {
+			continue
+		}
+		if _, err := r.Drain(nd.ID); err != nil {
+			return err
+		}
+		if _, err := nd.srv.SwitchTo(level); err != nil {
+			nd.Restore()
+			return fmt.Errorf("cluster: rollout on node %d: %w", nd.ID, err)
+		}
+		nd.Restore()
+	}
+	r.rollouts.Add(1)
+	return nil
+}
+
+// Stop gracefully stops every node (queued and in-flight work runs to
+// completion) and waits for all response forwarding to finish.
+func (r *Router) Stop() {
+	for _, nd := range r.nodes {
+		nd.Stop()
+	}
+	r.wg.Wait()
+}
+
+// node resolves a member by ID.
+func (r *Router) node(id int) (*Node, error) {
+	if id < 0 || id >= len(r.nodes) {
+		return nil, fmt.Errorf("cluster: node %d out of range %d", id, len(r.nodes))
+	}
+	return r.nodes[id], nil
+}
+
+// registerMetrics builds the rt3_cluster_* families: cluster-level
+// gauges and counters, per-node gauges labeled node="<id>", and the
+// failover/drain histograms. Per-node series read the live node state
+// at gather time (the same read-callback discipline the engine uses).
+func (r *Router) registerMetrics() {
+	reg := obs.NewRegistry()
+	r.reg = reg
+	reg.GaugeFunc("rt3_cluster_nodes", "Cluster member count.",
+		func() float64 { return float64(len(r.nodes)) })
+	reg.GaugeFunc("rt3_cluster_ready_nodes", "Members currently accepting traffic.",
+		func() float64 { return float64(r.ReadyNodes()) })
+	reg.CounterFunc("rt3_cluster_affinity_hits_total",
+		"Dispatches served by the session's pinned node.",
+		func() float64 { return float64(r.affinityHits.Load()) })
+	reg.CounterFunc("rt3_cluster_affinity_misses_total",
+		"Forced session re-pins (pinned node left rotation or refused).",
+		func() float64 { return float64(r.affinityMisses.Load()) })
+	reg.CounterFunc("rt3_cluster_session_pins_total",
+		"First-time session placements.",
+		func() float64 { return float64(r.sessionPins.Load()) })
+	reg.CounterFunc("rt3_cluster_failovers_total",
+		"Crashed requests re-dispatched onto healthy nodes.",
+		func() float64 { return float64(r.failovers.Load()) })
+	reg.CounterFunc("rt3_cluster_dropped_total",
+		"Requests shed with ErrQueueFull.",
+		func() float64 { return float64(r.drops.Load()) })
+	reg.CounterFunc("rt3_cluster_rollouts_total",
+		"Completed zero-downtime rollout sweeps.",
+		func() float64 { return float64(r.rollouts.Load()) })
+	r.replayTokens = reg.Histogram("rt3_cluster_failover_replay_tokens",
+		"Committed tokens replayed per generation failover.", obs.HistogramOpts{MinDecade: 0, Decades: 4, PerDecade: 9})
+	r.drainMS = reg.Histogram("rt3_cluster_drain_ms",
+		"Wall time to quiesce one node for maintenance.", obs.HistogramOpts{})
+	for _, nd := range r.nodes {
+		nd := nd
+		l := obs.L("node", strconv.Itoa(nd.ID))
+		reg.GaugeFunc("rt3_cluster_node_state",
+			"Node lifecycle state (0 cold, 1 active, 2 draining, 3 drained, 4 down).",
+			func() float64 { return float64(nd.State()) }, l)
+		reg.GaugeFunc("rt3_cluster_node_inflight",
+			"Router-dispatched requests awaiting their response.",
+			func() float64 { return float64(nd.Inflight()) }, l)
+		reg.GaugeFunc("rt3_cluster_node_queue_depth",
+			"Admitted-but-unserved requests on the node.",
+			func() float64 { return float64(nd.srv.Status().QueueDepth) }, l)
+		reg.GaugeFunc("rt3_cluster_node_level",
+			"Node's active V/F level index.",
+			func() float64 { return float64(nd.srv.Engine().Level()) }, l)
+		reg.GaugeFunc("rt3_cluster_node_battery_fraction",
+			"Node's simulated state of charge (1 when disabled).",
+			func() float64 { return nd.srv.BatteryFraction() }, l)
+		reg.CounterFunc("rt3_cluster_dispatches_total",
+			"Requests routed to the node.",
+			func() float64 { return float64(nd.Dispatches()) }, l)
+	}
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Decision kinds recorded in the router trace. Affinity hits are not
+// decisions — a pinned session bypasses the policy entirely — so the
+// trace holds exactly the Pick calls.
+const (
+	// DecisionRoute is a first-time placement: the session had no live
+	// pin and the policy chose a node.
+	DecisionRoute = "route"
+	// DecisionRepin is a forced move: the session's pinned node left
+	// rotation (drain, stop, crash) or refused the request, and the
+	// policy chose a replacement — an affinity miss.
+	DecisionRepin = "repin"
+	// DecisionFailover is a crash recovery: the policy chose the node a
+	// partially generated stream resumes on via truncate-replay.
+	DecisionFailover = "failover"
+)
+
+// Decision is one recorded policy pick with the exact inputs it saw.
+type Decision struct {
+	Seq   int       `json:"seq"`
+	Kind  string    `json:"kind"`
+	Key   uint64    `json:"key"`
+	Ready []int     `json:"ready"`
+	Loads []float64 `json:"loads"`
+	// Node is the pick the policy returned.
+	Node int `json:"node"`
+}
+
+// Trace is the router's auditable decision log: every policy pick in
+// dispatch order, with the policy name and rng seed that produced it.
+// Like the autotune decision trace, it replays deterministically —
+// Replay re-runs the recorded inputs through a fresh policy and rng and
+// requires identical picks.
+type Trace struct {
+	Policy    string     `json:"policy"`
+	Seed      int64      `json:"seed"`
+	Decisions []Decision `json:"decisions"`
+}
+
+// Replay re-executes the trace from its seed: a fresh policy instance
+// and a fresh rng walk the recorded decisions in order, and every
+// re-picked node must match the recorded one. Returns the number of
+// replayed decisions, or an error naming the first divergence — which,
+// given deterministic policies, can only mean the trace was edited or
+// the policy implementation changed.
+func Replay(tr Trace) (int, error) {
+	pol, err := NewPolicy(tr.Policy)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(tr.Seed))
+	for i, d := range tr.Decisions {
+		if len(d.Ready) == 0 {
+			return i, fmt.Errorf("cluster: decision %d has an empty ready set", d.Seq)
+		}
+		if got := pol.Pick(d.Key, d.Ready, d.Loads, rng); got != d.Node {
+			return i, fmt.Errorf("cluster: replay diverged at decision %d (%s key=%d): picked node %d, trace says %d",
+				d.Seq, d.Kind, d.Key, got, d.Node)
+		}
+	}
+	return len(tr.Decisions), nil
+}

@@ -9,15 +9,25 @@ import (
 
 // AdminOptions configures the admin mux. Any field may be zero: absent
 // registries yield an empty /metrics page, an absent tracer an empty
-// /trace, and an absent Health check makes /healthz always OK.
+// /trace, and absent Health/Ready checks make /healthz and /readyz
+// always OK.
 type AdminOptions struct {
 	// Registries are gathered in order onto /metrics; register
 	// non-overlapping metric names across them.
 	Registries []*Registry
 	Tracer     *Tracer
-	// Health, when set, gates /healthz: a non-nil error renders 503
-	// with the error text.
+	// Health, when set, gates /healthz — liveness: "is the process
+	// functional at all". A non-nil error renders 503 with the error
+	// text. It should fail only on conditions a restart would fix; a
+	// draining node is still live.
 	Health func() error
+	// Ready, when set, gates /readyz — readiness: "should this node
+	// receive new traffic". A non-nil error renders 503 with the error
+	// text. Routers and load balancers take a node out of rotation on a
+	// failing /readyz while /healthz still passes — the drain and
+	// shutdown window, where in-flight work finishes but admission is
+	// closed.
+	Ready func() error
 }
 
 // NewAdminMux builds the admin HTTP handler rt3serve exposes on
@@ -25,7 +35,8 @@ type AdminOptions struct {
 //
 //	/metrics            Prometheus text exposition of all registries
 //	/trace              recent traces; ?format=chrome|jsonl, ?n=<count>
-//	/healthz            200 ok / 503 with the health error
+//	/healthz            liveness: 200 ok / 503 with the health error
+//	/readyz             readiness: 200 ok / 503 while draining/stopping
 //	/debug/pprof/...    standard net/http/pprof profiling handlers
 func NewAdminMux(opts AdminOptions) *http.ServeMux {
 	mux := http.NewServeMux()
@@ -64,16 +75,20 @@ func NewAdminMux(opts AdminOptions) *http.ServeMux {
 		}
 	})
 
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if opts.Health != nil {
-			if err := opts.Health(); err != nil {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-				return
+	probe := func(check func() error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if check != nil {
+				if err := check(); err != nil {
+					http.Error(w, err.Error(), http.StatusServiceUnavailable)
+					return
+				}
 			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	}
+	mux.HandleFunc("/healthz", probe(opts.Health))
+	mux.HandleFunc("/readyz", probe(opts.Ready))
 
 	// net/http/pprof registers on http.DefaultServeMux at import; wire
 	// its handlers onto this mux explicitly so the admin endpoint works

@@ -11,7 +11,7 @@ import (
 	"time"
 )
 
-func newTestAdmin(t *testing.T, health func() error) (*httptest.Server, *Registry, *Tracer) {
+func newTestAdmin(t *testing.T, health, ready func() error) (*httptest.Server, *Registry, *Tracer) {
 	t.Helper()
 	reg := NewRegistry()
 	reg.Counter("rt3_requests_total", "Requests served.").Add(5)
@@ -24,6 +24,7 @@ func newTestAdmin(t *testing.T, health func() error) (*httptest.Server, *Registr
 		Registries: []*Registry{reg},
 		Tracer:     tr,
 		Health:     health,
+		Ready:      ready,
 	}))
 	t.Cleanup(srv.Close)
 	return srv, reg, tr
@@ -44,7 +45,7 @@ func get(t *testing.T, url string) (int, string, http.Header) {
 }
 
 func TestAdminMetricsAndHealth(t *testing.T) {
-	srv, _, _ := newTestAdmin(t, nil)
+	srv, _, _ := newTestAdmin(t, nil, nil)
 
 	code, body, hdr := get(t, srv.URL+"/metrics")
 	if code != http.StatusOK {
@@ -67,15 +68,30 @@ func TestAdminMetricsAndHealth(t *testing.T) {
 }
 
 func TestAdminHealthFailure(t *testing.T) {
-	srv, _, _ := newTestAdmin(t, func() error { return errors.New("draining") })
+	srv, _, _ := newTestAdmin(t, func() error { return errors.New("crashed") }, nil)
 	code, body, _ := get(t, srv.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "crashed") {
+		t.Fatalf("/healthz = %d %q, want 503 crashed", code, body)
+	}
+}
+
+// TestAdminReadiness pins the liveness/readiness split: a draining node
+// fails /readyz (routers pull it from rotation) while /healthz stays OK
+// (the process is functional; no restart wanted).
+func TestAdminReadiness(t *testing.T) {
+	srv, _, _ := newTestAdmin(t, nil, func() error { return errors.New("draining") })
+	code, body, _ := get(t, srv.URL+"/readyz")
 	if code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
-		t.Fatalf("/healthz = %d %q, want 503 draining", code, body)
+		t.Fatalf("/readyz = %d %q, want 503 draining", code, body)
+	}
+	code, body, _ = get(t, srv.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q, want 200 ok while draining", code, body)
 	}
 }
 
 func TestAdminTrace(t *testing.T) {
-	srv, _, _ := newTestAdmin(t, nil)
+	srv, _, _ := newTestAdmin(t, nil, nil)
 
 	code, body, _ := get(t, srv.URL+"/trace")
 	if code != http.StatusOK {
@@ -111,7 +127,7 @@ func TestAdminTrace(t *testing.T) {
 }
 
 func TestAdminPprof(t *testing.T) {
-	srv, _, _ := newTestAdmin(t, nil)
+	srv, _, _ := newTestAdmin(t, nil, nil)
 	code, body, _ := get(t, srv.URL+"/debug/pprof/")
 	if code != http.StatusOK || !strings.Contains(body, "profiles") {
 		t.Fatalf("/debug/pprof/ = %d", code)
@@ -132,6 +148,10 @@ func TestAdminEmptyOptions(t *testing.T) {
 	code, _, _ = get(t, srv.URL+"/healthz")
 	if code != http.StatusOK {
 		t.Fatalf("empty /healthz status %d", code)
+	}
+	code, _, _ = get(t, srv.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("empty /readyz status %d", code)
 	}
 	code, _, _ = get(t, srv.URL+"/trace")
 	if code != http.StatusOK {

@@ -499,6 +499,49 @@ func (e *Engine) DenseForward(idx int, ids []int) (*mat.Matrix, error) {
 	return out, nil
 }
 
+// DenseGenerate greedily decodes up to maxTokens tokens from prompt on
+// replica 0 with level idx's mask applied to dense weights and the
+// packed kernels bypassed — the ground truth a generation served
+// entirely at that level must match token-for-token (greedy decoding
+// makes the reference deterministic). It restores the dense weights and
+// the active level's packed kernels before returning. Callers must hold
+// the engine quiesced (the server exposes this as DenseGenReference).
+func (e *Engine) DenseGenerate(idx int, prompt []int, maxTokens, eos int) ([]int, error) {
+	if idx < 0 || idx >= e.NumLevels() {
+		return nil, fmt.Errorf("serve: level %d out of range %d", idx, e.NumLevels())
+	}
+	if len(prompt) == 0 || maxTokens <= 0 {
+		return nil, fmt.Errorf("serve: DenseGenerate needs a non-empty prompt and a positive token budget")
+	}
+	dm, err := e.decodeModel(0)
+	if err != nil {
+		return nil, err
+	}
+	lins := dm.PrunableLinears()
+	for j, l := range lins {
+		mask, _ := e.bundle.Sets[idx].Apply(e.weights[j])
+		masked := e.weights[j].Clone()
+		masked.Hadamard(mask)
+		l.W.Value.CopyFrom(masked)
+		l.SetKernel(nil)
+	}
+	st := dm.NewDecodeState()
+	st.Reserve(len(prompt) + maxTokens)
+	outs := dm.Prefill([]*transformer.DecodeState{st}, [][]int{prompt})
+	out := outs[0]
+	tokens := []int{out.ArgmaxRow(out.Rows - 1)}
+	for tokens[len(tokens)-1] != eos && len(tokens) < maxTokens {
+		logits := dm.DecodeStep([]*transformer.DecodeState{st}, []int{tokens[len(tokens)-1]})
+		tokens = append(tokens, logits.ArgmaxRow(0))
+	}
+	cur := e.recon.Current()
+	for j, l := range lins {
+		l.W.Value.CopyFrom(e.weights[j])
+		l.SetKernel(e.kernels[0][cur][j])
+	}
+	return tokens, nil
+}
+
 // BundleFromModel builds a deployment bundle for a model: the dense
 // values of every prunable projection plus one pattern set per level.
 // sets and levelNames follow the fastest-first convention.

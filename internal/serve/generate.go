@@ -9,19 +9,26 @@ import (
 
 // GenResponse is the answer to one generation request.
 type GenResponse struct {
-	// Err is non-nil when the request was abandoned (the server was
-	// stopped before ever starting); all other fields are then zero.
+	// Err is non-nil when the request was abandoned: ErrStopped when the
+	// server was stopped before ever starting, or ErrCrashed when Kill
+	// abandoned it mid-flight — in the latter case Tokens carries the
+	// committed partial output (possibly empty), which a router resumes
+	// on another node via SubmitGenResume. All other error cases leave
+	// the remaining fields zero.
 	Err error
-	// Tokens holds the generated tokens (the prompt excluded). When an
-	// EOS token was requested and produced it is the final entry.
+	// Tokens holds the generated tokens (the prompt excluded; a resumed
+	// request's replayed prefix included). When an EOS token was
+	// requested and produced it is the final entry.
 	Tokens []int
 	// Level is the V/F level active when the generation completed. A
 	// live switch mid-generation is legal — the sequence keeps its KV
 	// cache and continues on the new level's kernels, exactly as queued
 	// batch requests span switches today.
 	Level int
-	// Steps is the number of fused decode steps the sequence rode in
-	// (len(Tokens)-1: the first token comes from the prefill pass).
+	// Steps is the number of fused decode steps the sequence rode in —
+	// len(Tokens)-1 for a fresh generation (the first token comes from
+	// the prefill pass); a resumed generation additionally rides one
+	// replay step per prefix token fed back through the cache.
 	Steps int
 	// QueueMS is admission-to-prefill-dispatch wait. PrefillMS is the
 	// fused prompt pass's execution time (shared by every sequence
@@ -30,9 +37,13 @@ type GenResponse struct {
 	QueueMS, PrefillMS, DecodeMS, TotalMS float64
 }
 
-// genReq is one queued generation request.
+// genReq is one queued generation request. A non-empty prefix marks a
+// resumed generation: tokens already committed by a previous attempt
+// (e.g. on a node that crashed) that the decode worker replays through
+// the KV cache before generating new ones.
 type genReq struct {
 	prompt    []int
+	prefix    []int
 	maxTokens int
 	eos       int
 	enq       time.Time
@@ -47,6 +58,24 @@ type genReq struct {
 // ErrEmptyRequest for an empty prompt, ErrQueueFull at capacity, and
 // ErrStopped after Stop.
 func (s *Server) SubmitGen(prompt []int, maxTokens, eos int) (<-chan GenResponse, error) {
+	return s.SubmitGenResume(prompt, nil, maxTokens, eos)
+}
+
+// SubmitGenResume admits a generation that resumes from an already
+// committed token prefix — the failover path of a cluster router: when a
+// node crashes mid-generation its partial GenResponse carries the tokens
+// generated so far, and re-submitting them here on a healthy node
+// continues the stream without discarding them. The worker re-prefills
+// the prompt (rebuilding the frozen encoder memory) and replays the
+// prefix through fused decode steps — teacher-forcing the recorded
+// tokens, so the rebuilt KV cache is bit-identical to the crashed node's
+// at the same level (the truncate-replay equivalence DecodeState
+// TruncateTo pins) — then decodes on. The response's Tokens include the
+// prefix; maxTokens still bounds the total generated tokens, prefix
+// included. A prefix that already ends the generation (EOS or budget)
+// completes immediately without touching a worker. A nil prefix is
+// exactly SubmitGen.
+func (s *Server) SubmitGenResume(prompt, prefix []int, maxTokens, eos int) (<-chan GenResponse, error) {
 	if !s.cfg.Generate {
 		return nil, ErrNotGenerating
 	}
@@ -64,7 +93,15 @@ func (s *Server) SubmitGen(prompt []int, maxTokens, eos int) (<-chan GenResponse
 	if s.stopped {
 		return nil, ErrStopped
 	}
-	r := &genReq{prompt: prompt, maxTokens: maxTokens, eos: eos, enq: time.Now(), resp: make(chan GenResponse, 1)}
+	if n := len(prefix); n > 0 && (n >= maxTokens || prefix[n-1] == eos) {
+		resp := make(chan GenResponse, 1)
+		resp <- GenResponse{
+			Tokens: append([]int(nil), prefix...),
+			Level:  s.eng.Level(),
+		}
+		return resp, nil
+	}
+	r := &genReq{prompt: prompt, prefix: prefix, maxTokens: maxTokens, eos: eos, enq: time.Now(), resp: make(chan GenResponse, 1)}
 	r.tr = s.tracer.StartAt("generate", r.enq)
 	select {
 	case s.genIn <- r:
@@ -76,11 +113,16 @@ func (s *Server) SubmitGen(prompt []int, maxTokens, eos int) (<-chan GenResponse
 	}
 }
 
-// genSlot is one active sequence in a decode worker's step loop.
+// genSlot is one active sequence in a decode worker's step loop. feed
+// indexes the token the next fused step feeds: it trails len(tokens)-1
+// while a resumed prefix is being replayed through the cache (produced
+// logits are discarded — the tokens are already committed) and sticks to
+// the last token once caught up, when every step appends its argmax.
 type genSlot struct {
 	req       *genReq
 	st        *transformer.DecodeState
 	tokens    []int
+	feed      int
 	steps     int
 	queueMS   float64
 	prefillMS float64
@@ -116,6 +158,26 @@ func (s *Server) decodeWorker(replica int) {
 	)
 	open := true
 	for open || len(slots) > 0 {
+		// a crash abandons in-flight sequences at the step boundary:
+		// responses carry ErrCrashed plus the committed token prefix a
+		// router resumes elsewhere via SubmitGenResume
+		if s.killed() {
+			level := s.eng.Level()
+			for _, sl := range slots {
+				s.tracer.Abort(sl.req.tr)
+				sl.req.resp <- GenResponse{
+					Err:    ErrCrashed,
+					Tokens: append([]int(nil), sl.tokens...),
+					Level:  level,
+					Steps:  sl.steps,
+				}
+			}
+			for r := range s.genIn {
+				s.tracer.Abort(r.tr)
+				r.resp <- GenResponse{Err: ErrCrashed}
+			}
+			return
+		}
 		// top the slots up to MaxBatch; block only when fully idle
 		admit = admit[:0]
 	admitLoop:
@@ -185,8 +247,15 @@ func (s *Server) decodeWorker(replica int) {
 						queueMS:   float64(dispatch.Sub(r.enq).Microseconds()) / 1000,
 						prefillMS: prefillMS,
 					}
-					out := outs[i]
-					sl.tokens = append(sl.tokens, out.ArgmaxRow(out.Rows-1))
+					if len(r.prefix) > 0 {
+						// resumed generation: the prefix tokens are already
+						// committed output; the step loop replays them through
+						// the cache before appending new ones
+						sl.tokens = append(sl.tokens, r.prefix...)
+					} else {
+						out := outs[i]
+						sl.tokens = append(sl.tokens, out.ArgmaxRow(out.Rows-1))
+					}
 					if sl.done() {
 						finished = append(finished, sl)
 					} else {
@@ -199,7 +268,7 @@ func (s *Server) decodeWorker(replica int) {
 			tokens = tokens[:0]
 			states = states[:0]
 			for _, sl := range slots {
-				tokens = append(tokens, sl.tokens[len(sl.tokens)-1])
+				tokens = append(tokens, sl.tokens[sl.feed])
 				states = append(states, sl.st)
 			}
 			t0 := time.Now()
@@ -221,7 +290,10 @@ func (s *Server) decodeWorker(replica int) {
 					sl.req.resp <- GenResponse{Err: err}
 					continue
 				}
-				sl.tokens = append(sl.tokens, logits.ArgmaxRow(i))
+				if sl.feed == len(sl.tokens)-1 {
+					sl.tokens = append(sl.tokens, logits.ArgmaxRow(i))
+				}
+				sl.feed++
 				if sl.done() {
 					finished = append(finished, sl)
 				} else {

@@ -27,6 +27,12 @@ type LoadSpec struct {
 	BurstPeriod time.Duration
 	BurstFactor float64
 
+	// Cancel, when non-nil, ends the arrival phase early once closed —
+	// the graceful-drain path: offering stops immediately, every already
+	// admitted request is still awaited, and the report covers what ran.
+	// rt3serve's SIGINT/SIGTERM handler drives this.
+	Cancel <-chan struct{}
+
 	// SeqLen and Vocab shape the synthetic token sequences.
 	SeqLen int
 	Vocab  int
@@ -183,7 +189,15 @@ func RunLoad(s *Server, spec LoadSpec) (*LoadReport, error) {
 	var genFlight []<-chan GenResponse
 	start := time.Now()
 	next := start
+arrivals:
 	for {
+		if spec.Cancel != nil {
+			select {
+			case <-spec.Cancel:
+				break arrivals
+			default:
+			}
+		}
 		elapsed := time.Since(start)
 		if elapsed >= spec.Duration {
 			break

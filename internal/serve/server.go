@@ -16,6 +16,7 @@ import (
 var (
 	ErrQueueFull     = errors.New("serve: request queue full")
 	ErrStopped       = errors.New("serve: server stopped")
+	ErrCrashed       = errors.New("serve: server crashed")
 	ErrEmptyRequest  = errors.New("serve: empty token sequence")
 	ErrNotGenerating = errors.New("serve: SubmitGen requires Config.Generate")
 	ErrGenerating    = errors.New("serve: Submit unavailable in generation mode; use SubmitGen")
@@ -77,6 +78,16 @@ type Config struct {
 	// through a logger; the callback runs on the control loop goroutine
 	// and must not block.
 	OnAutotuneDecision func(AutotuneDecision)
+
+	// StepFloor, when > 0, is the modeled minimum wall time of one fused
+	// execution (a batch forward, a prefill pass, or a decode step): the
+	// worker idles out the remainder after running at host speed. Where
+	// SimDVFS stretches execution relative to the host, StepFloor pins an
+	// absolute per-step cost, making a replica's serving capacity a
+	// deterministic function of configuration instead of host speed — the
+	// knob the cluster scaling benchmarks rely on to show node counts,
+	// not host cores, as the capacity axis.
+	StepFloor time.Duration
 
 	// SimDVFS, when true, simulates the active V/F level's frequency in
 	// wall-clock execution: after every fused forward pass (and prefill
@@ -192,6 +203,9 @@ type Server struct {
 	stopped bool
 
 	done chan struct{}
+	// kill is closed by Kill (simulated crash): workers abort in-flight
+	// work with ErrCrashed instead of completing it.
+	kill chan struct{}
 	wg   sync.WaitGroup
 }
 
@@ -213,6 +227,7 @@ func New(eng *Engine, cfg Config) *Server {
 		genIn:   make(chan *genReq, cfg.QueueCap),
 		batches: make(chan []*request, eng.Replicas()),
 		done:    make(chan struct{}),
+		kill:    make(chan struct{}),
 	}
 	if cfg.BatteryJ > 0 {
 		s.battery = dvfs.NewBattery(cfg.BatteryJ)
@@ -346,6 +361,62 @@ func (s *Server) Stop() {
 	}
 }
 
+// Kill simulates a node crash: admission closes immediately and, unlike
+// Stop, in-flight work is abandoned rather than finished. Queued
+// requests receive ErrCrashed; in-flight generations are aborted at the
+// next fused-step boundary, their responses carrying ErrCrashed plus the
+// tokens generated so far — the committed prefix a cluster router
+// replays onto another node via SubmitGenResume (truncate-replay).
+// Every response channel still receives exactly one send, and all
+// goroutines exit before Kill returns.
+func (s *Server) Kill() {
+	s.stateMu.Lock()
+	if s.stopped {
+		s.stateMu.Unlock()
+		return
+	}
+	s.stopped = true
+	started := s.started
+	close(s.kill)
+	close(s.in)
+	close(s.genIn)
+	close(s.done)
+	s.stateMu.Unlock()
+	if started {
+		s.wg.Wait()
+		return
+	}
+	for r := range s.in {
+		s.tracer.Abort(r.tr)
+		r.resp <- Response{Err: ErrCrashed}
+	}
+	for r := range s.genIn {
+		s.tracer.Abort(r.tr)
+		r.resp <- GenResponse{Err: ErrCrashed}
+	}
+}
+
+// killed reports whether Kill has been called (workers poll it at
+// batch/step boundaries — a crash aborts between fused executions, never
+// inside one).
+func (s *Server) killed() bool {
+	select {
+	case <-s.kill:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stopped reports whether admission is closed (Stop or Kill was called).
+// Readiness probes consult it: a stopping node must leave rotation even
+// while its in-flight work drains.
+func (s *Server) Stopped() bool {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	return s.stopped
+}
+
 // Status snapshots the signals a level policy decides on.
 func (s *Server) Status() Status {
 	frac := s.BatteryFraction()
@@ -403,6 +474,20 @@ func (s *Server) DenseReference(idx int, ids []int) (*mat.Matrix, error) {
 	return s.eng.DenseForward(idx, ids)
 }
 
+// DenseGenReference greedily decodes the masked dense reference
+// generation for level idx on the quiesced engine — the ground truth a
+// generation served entirely at that level must match token-for-token.
+// maxTokens <= 0 picks Config.MaxGenTokens, mirroring SubmitGen, so the
+// reference sees the budget the served request actually ran under.
+func (s *Server) DenseGenReference(idx int, prompt []int, maxTokens, eos int) ([]int, error) {
+	if maxTokens <= 0 {
+		maxTokens = s.cfg.MaxGenTokens
+	}
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	return s.eng.DenseGenerate(idx, prompt, maxTokens, eos)
+}
+
 // batcher assembles dynamic batches: flush at MaxBatch or MaxDelay after
 // the first request, whichever comes first.
 func (s *Server) batcher() {
@@ -456,6 +541,13 @@ func (s *Server) worker(replica int) {
 	defer s.wg.Done()
 	var ids [][]int
 	for batch := range s.batches {
+		if s.killed() {
+			for _, r := range batch {
+				s.tracer.Abort(r.tr)
+				r.resp <- Response{Err: ErrCrashed}
+			}
+			continue
+		}
 		s.execMu.RLock()
 		level := s.eng.Level()
 		ids = ids[:0]
@@ -490,21 +582,28 @@ func (s *Server) worker(replica int) {
 	}
 }
 
-// simDVFSDelay stretches the execution that started at t0 to the active
-// level's modeled frequency (a no-op unless Config.SimDVFS): having run
-// the work at host speed, the worker idles the remaining
-// f_fastest/f_level share of the measured time. Called with execMu
-// read-held, so the stretched execution drains like real execution.
+// simDVFSDelay stretches the fused execution that started at t0 to its
+// modeled duration (a no-op unless Config.SimDVFS or Config.StepFloor is
+// set): having run the work at host speed, the worker idles until the
+// larger of f_fastest/f_level times the measured time (SimDVFS) and the
+// absolute StepFloor has elapsed. Called with execMu read-held, so the
+// stretched execution drains like real execution.
 func (s *Server) simDVFSDelay(level int, t0 time.Time) {
-	if !s.cfg.SimDVFS {
+	target := s.cfg.StepFloor
+	if s.cfg.SimDVFS {
+		levels := s.eng.Levels()
+		if factor := levels[0].FreqMHz / levels[level].FreqMHz; factor > 1 {
+			if t := time.Duration(float64(time.Since(t0)) * factor); t > target {
+				target = t
+			}
+		}
+	}
+	if target <= 0 {
 		return
 	}
-	levels := s.eng.Levels()
-	factor := levels[0].FreqMHz / levels[level].FreqMHz
-	if factor <= 1 {
-		return
+	if d := target - time.Since(t0); d > 0 {
+		time.Sleep(d)
 	}
-	time.Sleep(time.Duration(float64(time.Since(t0)) * (factor - 1)))
 }
 
 // drainEnergy charges the modeled inference energy of n units of work
