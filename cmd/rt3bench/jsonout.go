@@ -21,13 +21,25 @@ type jsonReport struct {
 }
 
 type kernelsSection struct {
-	Dim      int                `json:"dim"`
-	Batch    int                `json:"batch"`
-	Sparsity float64            `json:"sparsity"`
-	Workers  int                `json:"workers"`
-	Formats  []kernelRow        `json:"formats"`
-	Batched  []batchedRow       `json:"batched,omitempty"`
-	Metrics  map[string]float64 `json:"metrics"`
+	Dim      int          `json:"dim"`
+	Batch    int          `json:"batch"`
+	Sparsity float64      `json:"sparsity"`
+	Workers  int          `json:"workers"`
+	Formats  []kernelRow  `json:"formats"`
+	Batched  []batchedRow `json:"batched,omitempty"`
+	Micro    []microRow   `json:"micro,omitempty"`
+	// MicroGeomeanSpeedup is the packed-f64 geomean over dense across
+	// the micro shapes (the enforced >= 2x contract).
+	MicroGeomeanSpeedup float64            `json:"micro_geomean_speedup,omitempty"`
+	Metrics             map[string]float64 `json:"metrics"`
+}
+
+type microRow struct {
+	Shape    string  `json:"shape"` // MxKxN
+	Format   string  `json:"format"`
+	USPerOp  float64 `json:"us_per_op"`
+	GFLOPEqS float64 `json:"gflop_eq_per_s"`
+	SpeedupX float64 `json:"speedup_x"`
 }
 
 type kernelRow struct {

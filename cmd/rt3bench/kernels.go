@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"time"
@@ -97,11 +98,86 @@ func runKernelBench(formats string, spec kernelBenchSpec) error {
 			return err
 		}
 	}
+	fmt.Println()
+	if err := runMicroKernelBench(spec, section); err != nil {
+		return err
+	}
 	if section != nil {
 		reg := obs.NewRegistry()
 		kernel.RegisterMetrics(reg)
 		section.Metrics = reg.Snapshot()
 	}
+	return nil
+}
+
+// microShapes are the serving block-FC shapes (batch x in x out at
+// dim=192, ffn=768) the micro-kernel section sweeps: prefill and
+// gradient-sized wide products, a decode-sized short batch, and a
+// square attention projection.
+var microShapes = [][3]int{{256, 192, 768}, {256, 768, 192}, {8, 192, 768}, {64, 192, 192}}
+
+// microKernelFloor is the enforced geomean speedup of the packed f64
+// micro-kernel format over dense MatMul execution across microShapes:
+// register blocking plus one-time panel packing must at least double
+// the serving matmul throughput, or the bench run fails.
+const microKernelFloor = 2.0
+
+// runMicroKernelBench times the packed micro-kernel formats against the
+// dense baseline at the serving shapes (single-threaded, unmasked
+// weights: this section measures the GEMM core itself, not sparsity)
+// and enforces microKernelFloor on the packed-f64 geomean.
+func runMicroKernelBench(spec kernelBenchSpec, section *kernelsSection) error {
+	rng := rand.New(rand.NewSource(44))
+	formats := []string{"dense", "packed", "f32", "int8"}
+	fmt.Printf("micro-kernels: packed-panel GEMM vs dense MatMul at serving shapes (single-threaded)\n\n")
+	fmt.Printf("%-14s %-8s %12s %14s %10s\n", "shape", "format", "us/op", "GFLOPeq/s", "speedup")
+	logSum := map[string]float64{}
+	for _, sh := range microShapes {
+		M, K, N := sh[0], sh[1], sh[2]
+		w := mat.New(K, N)
+		w.Randomize(rng, 1)
+		x := mat.New(M, K)
+		x.Randomize(rng, 1)
+		flops := 2 * float64(M) * float64(K) * float64(N)
+		shape := fmt.Sprintf("%dx%dx%d", M, K, N)
+		denseUS := 0.0
+		for _, name := range formats {
+			k, err := kernel.Build(name, w, kernel.Options{})
+			if err != nil {
+				return err
+			}
+			dst := mat.New(M, N)
+			k.MulInto(dst, x) // warm up panel and scratch reuse
+			perOp := timeKernel(k, dst, x, spec.minTime)
+			us := float64(perOp.Nanoseconds()) / 1e3
+			if name == "dense" {
+				denseUS = us
+			}
+			speedup := denseUS / us
+			logSum[name] += math.Log(speedup)
+			fmt.Printf("%-14s %-8s %12.2f %14.3f %9.2fx\n",
+				shape, name, us, flops/perOp.Seconds()/1e9, speedup)
+			if section != nil {
+				section.Micro = append(section.Micro, microRow{
+					Shape: shape, Format: name, USPerOp: us,
+					GFLOPEqS: flops / perOp.Seconds() / 1e9,
+					SpeedupX: speedup,
+				})
+			}
+		}
+	}
+	geomean := func(name string) float64 {
+		return math.Exp(logSum[name] / float64(len(microShapes)))
+	}
+	packed, f32, int8 := geomean("packed"), geomean("f32"), geomean("int8")
+	if section != nil {
+		section.MicroGeomeanSpeedup = packed
+	}
+	if packed < microKernelFloor {
+		return fmt.Errorf("micro-kernel floor FAIL: packed geomean %.2fx over dense fell below the %.1fx floor", packed, microKernelFloor)
+	}
+	fmt.Printf("\nmicro-kernel floor PASS: packed geomean %.2fx >= %.1fx over dense (f32 %.2fx, int8 %.2fx)\n",
+		packed, microKernelFloor, f32, int8)
 	return nil
 }
 

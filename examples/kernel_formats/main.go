@@ -43,6 +43,19 @@ func main() {
 	}
 	want := kernel.Mul(ref, x)
 
+	// Per-format equivalence tolerance: exact-arithmetic formats must hit
+	// the tight default; the reduced-precision micro-kernel formats are
+	// held to their documented quantization/rounding bounds instead.
+	tol := func(name string) float64 {
+		switch name {
+		case "f32":
+			return 1e-3
+		case "int8":
+			return 0.5
+		}
+		return 1e-9
+	}
+
 	// One loop over the registry covers every execution format; the
 	// destination is allocated once and reused across MulInto calls.
 	fmt.Printf("%-10s %8s %10s %12s  %s\n", "format", "nnz", "idx_words", "us/op", "matches dense")
@@ -53,7 +66,7 @@ func main() {
 			log.Fatal(err)
 		}
 		k.MulInto(dst, x)
-		ok := mat.Equal(dst, want, 1e-9)
+		ok := mat.Equal(dst, want, tol(name))
 		start := time.Now()
 		const iters = 50
 		for i := 0; i < iters; i++ {

@@ -28,9 +28,10 @@
 // # Registry
 //
 // The package-level registry maps format names ("dense", "coo", "csr",
-// "blockcsr", "pattern") to constructors so commands and the serving
-// engine select execution formats by flag or config instead of
-// hard-coding types. See Build and Options.
+// "blockcsr", "pattern", plus the micro-kernel formats "packed", "f32"
+// and "int8") to constructors so commands and the serving engine select
+// execution formats by flag or config instead of hard-coding types. See
+// Build and Options.
 package kernel
 
 import (

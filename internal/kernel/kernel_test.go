@@ -26,6 +26,22 @@ func maskedDense(w *mat.Matrix, set *pattern.Set, x *mat.Matrix) *mat.Matrix {
 	return y
 }
 
+// formatTol is the per-format equivalence tolerance against masked
+// dense execution. Exact-arithmetic formats get the tight default; the
+// reduced-precision micro-kernel formats get the documented bounds
+// (f32: K*eps32-scale rounding; int8: quantization error, see
+// mat.Gemm8 — 0.5 comfortably covers the analytic bound at these
+// unit-scale test shapes).
+func formatTol(name string) float64 {
+	switch name {
+	case "f32":
+		return 1e-4
+	case "int8":
+		return 0.5
+	}
+	return 1e-9
+}
+
 // TestRegistryFormatsMatchDense is the unified equivalence property: for
 // every registered execution format, building a kernel over the same
 // pattern-masked weights and running MulInto must equal dense execution
@@ -53,7 +69,7 @@ func TestRegistryFormatsMatchDense(t *testing.T) {
 				want := maskedDense(w, set, x)
 				dst := mat.New(batch, cols)
 				k.MulInto(dst, x)
-				if !mat.Equal(dst, want, 1e-9) {
+				if !mat.Equal(dst, want, formatTol(name)) {
 					return false
 				}
 				// the allocating wrapper must agree with MulInto
@@ -237,12 +253,17 @@ func TestMulIntoZeroAllocs(t *testing.T) {
 		}
 		kernels[name] = k
 	}
-	pk, err := kernel.Build("pattern", w, kernel.Options{Set: set, Workers: 4})
-	if err != nil {
-		t.Fatal(err)
+	// parallel variants: the executor and any per-call scratch (pattern
+	// layout buffers, f32 conversion, int8 quantization) must stay
+	// allocation-free under concurrent row-partitioned MulInto too.
+	for _, name := range []string{"pattern", "packed", "f32", "int8"} {
+		pk, err := kernel.Build(name, w, kernel.Options{Set: set, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pk.(*kernel.ParallelKernel).Close()
+		kernels[name+"-parallel"] = pk
 	}
-	defer pk.(*kernel.ParallelKernel).Close()
-	kernels["pattern-parallel"] = pk
 
 	for name, k := range kernels {
 		dst := mat.New(32, 32)
@@ -297,7 +318,74 @@ func TestRegistryNamesAndCustomFormat(t *testing.T) {
 	if !mat.Equal(kernel.Mul(ka, x), kernel.Mul(kb, x), 1e-9) {
 		t.Fatal("custom registry formats disagree")
 	}
-	if got := len(kernel.Formats()); got != 5 {
-		t.Fatalf("default registry has %d formats, want 5", got)
+	if got := len(kernel.Formats()); got != 8 {
+		t.Fatalf("default registry has %d formats, want 8", got)
+	}
+}
+
+// TestPackedBitIdenticalToDense pins the headline property of the f64
+// micro-kernel path: "packed" must reproduce dense execution bit for
+// bit, masked or not — register blocking reorders work across output
+// elements, never within one element's ascending-k sum.
+func TestPackedBitIdenticalToDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, withSet := range []bool{false, true} {
+		w := mat.New(48, 33)
+		w.Randomize(rng, 1)
+		opts := kernel.Options{}
+		if withSet {
+			opts.Set = pattern.RandomSet(4, 0.5, 3, rng)
+		}
+		dense, err := kernel.Build("dense", w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed, err := kernel.Build("packed", w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, batch := range []int{1, 7, 8, 9, 64} {
+			x := mat.New(batch, 48)
+			x.Randomize(rng, 1)
+			want := kernel.Mul(dense, x)
+			got := kernel.Mul(packed, x)
+			if !mat.Equal(got, want, 0) {
+				t.Fatalf("set=%v batch=%d: packed differs from dense", withSet, batch)
+			}
+		}
+	}
+}
+
+// TestPackedPrecisionOption: the "packed" format flips to f32 compute
+// through Options.Precision and rejects unknown precisions.
+func TestPackedPrecisionOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	w := mat.New(24, 9)
+	w.Randomize(rng, 1)
+	x := mat.New(5, 24)
+	x.Randomize(rng, 1)
+	f32, err := kernel.Build("packed", w, kernel.Options{Precision: "f32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	named, err := kernel.Build("f32", w, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the Precision option and the named format are the same path
+	if !mat.Equal(kernel.Mul(f32, x), kernel.Mul(named, x), 0) {
+		t.Fatal("packed+f32 precision differs from the f32 format")
+	}
+	dense, err := kernel.Build("dense", w, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(kernel.Mul(f32, x), kernel.Mul(dense, x), 1e-4) {
+		t.Fatal("f32 compute beyond tolerance of dense")
+	}
+	if _, err := kernel.Build("packed", w, kernel.Options{Precision: "f16"}); err == nil {
+		t.Fatal("unknown precision accepted")
+	} else if !strings.Contains(err.Error(), "f16") {
+		t.Fatalf("error does not name the precision: %v", err)
 	}
 }

@@ -21,6 +21,10 @@ type Options struct {
 	Blocks int
 	// Workers, when > 1, wraps the built kernel in Parallel(k, Workers).
 	Workers int
+	// Precision selects the compute precision of the "packed" format:
+	// "" or "f64" (bit-identical to dense) or "f32". Other formats fix
+	// their own precision and ignore this.
+	Precision string
 }
 
 // Builder constructs a kernel over the dense weight matrix w.
@@ -108,6 +112,13 @@ var defaultRegistry = func() *Registry {
 			return nil, fmt.Errorf("kernel: format \"pattern\" requires Options.Set")
 		}
 		return sparse.PackSet(w, opts.Set)
+	})
+	r.Register("packed", buildPacked)
+	r.Register("f32", func(w *mat.Matrix, opts Options) (Kernel, error) {
+		return NewPacked32(masked(w, opts)), nil
+	})
+	r.Register("int8", func(w *mat.Matrix, opts Options) (Kernel, error) {
+		return NewInt8(masked(w, opts)), nil
 	})
 	return r
 }()

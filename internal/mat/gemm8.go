@@ -1,0 +1,233 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Int8-quantized GEMM: the third precision of the packed-panel core
+// (see gemm.go). Weights quantize once at pack time, symmetric per
+// output column: sw[j] = maxabs(W[:,j])/127, qw = round(w/sw) in
+// [-127,127]. Activations quantize per call, affine per batch row with
+// the range widened to include zero — so exact zeros (the common case
+// under activation sparsity) quantize exactly: sx = (hi-lo)/255,
+// zp = round(-lo/sx) - 128, qx = round(x/sx) + zp in [-128,127].
+//
+// With those forms, each output element is recovered from a single
+// int32 contraction plus a per-column correction:
+//
+//	y[r][j] = sx_r * sw_j * (sum_k qx[r][k]*qw[k][j] - zp_r * colSum[j])
+//
+// where colSum[j] = sum_k qw[k][j] is precomputed at pack time. The
+// contraction is exact integer arithmetic, so the SSE2 PMADDWD kernel
+// and the scalar reference kernel agree bit-for-bit by construction —
+// only the quantization itself loses precision, never the compute.
+//
+// Panels pair-interleave k so PMADDWD's dual-lane multiply-add maps
+// directly: each 8-byte group holds columns 0..3 of step k, interleaved
+// with columns 0..3 of step k+1 (odd K zero-padded). Activations are
+// stored int16-widened so the kernel broadcasts a (qx[k], qx[k+1]) pair
+// with one dword shuffle.
+
+// Int8MaxK is the largest supported K for the int8 path: per k-pair the
+// accumulator grows by at most 2*128*127, so kp <= 2^31/32512 keeps the
+// int32 contraction exact.
+const Int8MaxK = 131072
+
+// PanelsInt8 is the packed int8 form of a K x N weight matrix:
+// pair-interleaved panels plus the per-column scale and quantized
+// column sums needed to dequantize (see the file comment).
+type PanelsInt8 struct {
+	K, N   int
+	Data   []int8    // ceil(K/2) 8-byte pair groups per panel
+	Scale  []float64 // per-column weight scale sw
+	ColSum []int32   // per-column sum of quantized weights
+}
+
+// int8Scratch carries one Gemm8 call's quantized activations; borrowed
+// from a FreeList so steady-state calls allocate nothing.
+type int8Scratch struct {
+	q     []int16   // int16-widened qx, row stride 2*ceil(K/2), zero-padded
+	scale []float64 // per-row sx
+	zp    []int32   // per-row zero point
+}
+
+var int8Scratches FreeList[*int8Scratch]
+
+func newInt8Scratch() *int8Scratch { return new(int8Scratch) }
+
+// PackPanels8 quantizes and packs w (K x N, float64 row-major) into
+// pair-interleaved int8 panels. Like PackPanels, this is one-time work
+// amortized across every subsequent Gemm8 call.
+func PackPanels8(w *Matrix) *PanelsInt8 {
+	K, N := w.Rows, w.Cols
+	if K > Int8MaxK {
+		panic(fmt.Sprintf("mat: PackPanels8 K %d exceeds Int8MaxK %d", K, Int8MaxK))
+	}
+	np := (N + PanelWidth - 1) / PanelWidth
+	kp := (K + 1) / 2
+	p := &PanelsInt8{
+		K: K, N: N,
+		Data:   make([]int8, np*kp*2*PanelWidth),
+		Scale:  make([]float64, N),
+		ColSum: make([]int32, N),
+	}
+	for j := 0; j < N; j++ {
+		maxAbs := 0.0
+		for k := 0; k < K; k++ {
+			if v := math.Abs(w.Data[k*N+j]); v > maxAbs {
+				maxAbs = v
+			}
+		}
+		s := maxAbs / 127
+		if s == 0 {
+			s = 1
+		}
+		p.Scale[j] = s
+	}
+	stride := kp * 2 * PanelWidth
+	for pi := 0; pi < np; pi++ {
+		j0 := pi * PanelWidth
+		nw := N - j0
+		if nw > PanelWidth {
+			nw = PanelWidth
+		}
+		base := pi * stride
+		for t := 0; t < kp; t++ {
+			for j := 0; j < nw; j++ {
+				for s := 0; s < 2; s++ {
+					k := 2*t + s
+					if k >= K {
+						continue // zero padding at odd K
+					}
+					q := quantizeInt8(w.Data[k*N+j0+j], p.Scale[j0+j])
+					p.Data[base+t*2*PanelWidth+2*j+s] = q
+					p.ColSum[j0+j] += int32(q)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// quantizeInt8 rounds v/scale into the symmetric range [-127, 127].
+func quantizeInt8(v, scale float64) int8 {
+	q := math.Round(v / scale)
+	if q > 127 {
+		q = 127
+	} else if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}
+
+// quantizeRowInt8 quantizes one activation row into q (int16-widened,
+// zero-padded past len(row)) and returns its affine parameters.
+func quantizeRowInt8(row []float64, q []int16) (float64, int32) {
+	lo, hi := 0.0, 0.0 // range always spans 0 so zeros quantize exactly
+	for _, v := range row {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	scale := (hi - lo) / 255
+	if scale == 0 {
+		scale = 1
+	}
+	zp := int32(math.Round(-lo/scale)) - 128
+	for k, v := range row {
+		qv := int32(math.Round(v/scale)) + zp
+		if qv < -128 {
+			qv = -128
+		} else if qv > 127 {
+			qv = 127
+		}
+		q[k] = int16(qv)
+	}
+	for k := len(row); k < len(q); k++ {
+		q[k] = 0
+	}
+	return scale, zp
+}
+
+// Gemm8 computes dst = X @ W through the int8-quantized panels of W,
+// quantizing x's rows into borrowed scratch. dst must not alias x.
+func Gemm8(dst, x *Matrix, p *PanelsInt8) {
+	M, K, N := x.Rows, p.K, p.N
+	if x.Cols != K {
+		panic(fmt.Sprintf("mat: Gemm8 x cols %d != K %d", x.Cols, K))
+	}
+	if dst.Rows != M || dst.Cols != N {
+		panic(fmt.Sprintf("mat: Gemm8 dst %dx%d != %dx%d", dst.Rows, dst.Cols, M, N))
+	}
+	if K == 0 {
+		for i := range dst.Data {
+			dst.Data[i] = 0
+		}
+		return
+	}
+	kp := (K + 1) / 2
+	s := int8Scratches.Get(newInt8Scratch)
+	s.q = Grow(s.q, M*kp*2)
+	s.scale = Grow(s.scale, M)
+	s.zp = Grow(s.zp, M)
+	for r := 0; r < M; r++ {
+		s.scale[r], s.zp[r] = quantizeRowInt8(x.Data[r*K:(r+1)*K], s.q[r*kp*2:(r+1)*kp*2])
+	}
+	if !gemm8Asm(dst, s, p) {
+		gemm8Rows(dst, s, p, 0, M)
+	}
+	int8Scratches.Put(s)
+}
+
+// gemm8Rows is the portable int8 path over rows [m0, m1): scalar 1x4
+// accumulator tiles over the pair-interleaved panels.
+func gemm8Rows(dst *Matrix, s *int8Scratch, p *PanelsInt8, m0, m1 int) {
+	K, N := p.K, p.N
+	kp := (K + 1) / 2
+	np := (N + PanelWidth - 1) / PanelWidth
+	stride := kp * 2 * PanelWidth
+	var acc [4]int32
+	for r := m0; r < m1; r++ {
+		a := s.q[r*kp*2 : (r+1)*kp*2]
+		for pi := 0; pi < np; pi++ {
+			j0 := pi * PanelWidth
+			nw := N - j0
+			if nw > PanelWidth {
+				nw = PanelWidth
+			}
+			bp := p.Data[pi*stride : (pi+1)*stride]
+			acc[0], acc[1], acc[2], acc[3] = kern1x4Int8(bp, a)
+			dequantStore4(dst.Data[r*N+j0:r*N+j0+nw], s.scale[r], s.zp[r],
+				p.Scale[j0:j0+nw], p.ColSum[j0:j0+nw], acc[:])
+		}
+	}
+}
+
+// kern1x4Int8 contracts one quantized row against one pair-interleaved
+// panel: exact int32 accumulation, the reference the SSE2 kernel must
+// match bit-for-bit.
+func kern1x4Int8(bp []int8, a []int16) (acc0, acc1, acc2, acc3 int32) {
+	kp := len(a) / 2
+	bp = bp[: kp*8 : kp*8]
+	for t := 0; t < kp; t++ {
+		a0, a1 := int32(a[2*t]), int32(a[2*t+1])
+		bi := t * 8
+		acc0 += a0*int32(bp[bi]) + a1*int32(bp[bi+1])
+		acc1 += a0*int32(bp[bi+2]) + a1*int32(bp[bi+3])
+		acc2 += a0*int32(bp[bi+4]) + a1*int32(bp[bi+5])
+		acc3 += a0*int32(bp[bi+6]) + a1*int32(bp[bi+7])
+	}
+	return
+}
+
+// dequantStore4 converts up to 4 int32 accumulators of one row tile
+// into float64 dst values; len(c) < 4 only at the right-edge panel.
+func dequantStore4(c []float64, sx float64, zp int32, sw []float64, cs []int32, acc []int32) {
+	for j := range c {
+		c[j] = sx * sw[j] * float64(acc[j]-zp*cs[j])
+	}
+}

@@ -1,0 +1,151 @@
+//go:build amd64
+
+package mat
+
+// hasAVX gates the float64 AVX micro-kernel; the float32/int8 kernels
+// need only baseline SSE2, which amd64 guarantees.
+var hasAVX = cpuHasAVX()
+
+// cpuHasAVX reports CPUID+XGETBV AVX support (gemm_amd64.s).
+func cpuHasAVX() bool
+
+// kern8x4AVX computes an 8x4 accumulator tile from one packed panel
+// (gemm_amd64.s). Strict VMULPD/VADDPD: bit-identical to kern8x4.
+//
+//go:noescape
+func kern8x4AVX(bp, a *float64, lda int, c *float64, ldc, k int)
+
+// kern8x4SSE32 is the float32 8x4 tile: float32 accumulation, float64
+// stores, bit-identical to kern8x4[float32] (gemm_amd64.s).
+//
+//go:noescape
+func kern8x4SSE32(bp, a *float32, lda int, c *float64, ldc, k int)
+
+// kern8x4SSE8 is the int8 8x4 tile over one pair-interleaved panel:
+// PMADDWD into exact int32 accumulators, bit-identical to kern1x4Int8
+// (gemm_amd64.s). c is a 8x4 int32 tile, kp counts k-pairs.
+//
+//go:noescape
+func kern8x4SSE8(bp *int8, a *int16, lda int, c *int32, ldc, kp int)
+
+// gemmAsm64 is the amd64 fast path of GemmPanels[float64]: full-width
+// panels over 8-row blocks run the AVX micro-kernel; row remainders and
+// the right-edge panel fall back to the portable kernels. Returns false
+// (computing nothing) when the CPU lacks AVX.
+func gemmAsm64(dst *Matrix, x []float64, p *Panels[float64]) bool {
+	if !hasAVX {
+		return false
+	}
+	M, K, N := dst.Rows, p.K, p.N
+	np := (N + PanelWidth - 1) / PanelWidth
+	for mc := 0; mc < M; mc += gemmMC {
+		m1 := mc + gemmMC
+		if m1 > M {
+			m1 = M
+		}
+		for pi := 0; pi < np; pi++ {
+			j0 := pi * PanelWidth
+			nw := N - j0
+			if nw > PanelWidth {
+				nw = PanelWidth
+			}
+			bp := p.Data[pi*K*PanelWidth : (pi+1)*K*PanelWidth]
+			m := mc
+			if nw == PanelWidth && K > 0 {
+				for ; m+8 <= m1; m += 8 {
+					kern8x4AVX(&bp[0], &x[m*K], K, &dst.Data[m*N+j0], N, K)
+				}
+			}
+			for ; m+4 <= m1; m += 4 {
+				kern4x4(bp,
+					x[(m+0)*K:(m+1)*K], x[(m+1)*K:(m+2)*K], x[(m+2)*K:(m+3)*K], x[(m+3)*K:(m+4)*K],
+					dst.Data[(m+0)*N+j0:(m+0)*N+j0+nw], dst.Data[(m+1)*N+j0:(m+1)*N+j0+nw],
+					dst.Data[(m+2)*N+j0:(m+2)*N+j0+nw], dst.Data[(m+3)*N+j0:(m+3)*N+j0+nw])
+			}
+			for ; m < m1; m++ {
+				kern1x4(bp, x[m*K:(m+1)*K], dst.Data[m*N+j0:m*N+j0+nw])
+			}
+		}
+	}
+	return true
+}
+
+// gemmAsm32 is the amd64 fast path of GemmPanels[float32]; baseline SSE
+// needs no feature gate, so it always runs. Same block structure as
+// gemmAsm64 with the portable float32 kernels covering remainders.
+func gemmAsm32(dst *Matrix, x []float32, p *Panels[float32]) bool {
+	M, K, N := dst.Rows, p.K, p.N
+	np := (N + PanelWidth - 1) / PanelWidth
+	for mc := 0; mc < M; mc += gemmMC {
+		m1 := mc + gemmMC
+		if m1 > M {
+			m1 = M
+		}
+		for pi := 0; pi < np; pi++ {
+			j0 := pi * PanelWidth
+			nw := N - j0
+			if nw > PanelWidth {
+				nw = PanelWidth
+			}
+			bp := p.Data[pi*K*PanelWidth : (pi+1)*K*PanelWidth]
+			m := mc
+			if nw == PanelWidth && K > 0 {
+				for ; m+8 <= m1; m += 8 {
+					kern8x4SSE32(&bp[0], &x[m*K], K, &dst.Data[m*N+j0], N, K)
+				}
+			}
+			for ; m+4 <= m1; m += 4 {
+				kern4x4(bp,
+					x[(m+0)*K:(m+1)*K], x[(m+1)*K:(m+2)*K], x[(m+2)*K:(m+3)*K], x[(m+3)*K:(m+4)*K],
+					dst.Data[(m+0)*N+j0:(m+0)*N+j0+nw], dst.Data[(m+1)*N+j0:(m+1)*N+j0+nw],
+					dst.Data[(m+2)*N+j0:(m+2)*N+j0+nw], dst.Data[(m+3)*N+j0:(m+3)*N+j0+nw])
+			}
+			for ; m < m1; m++ {
+				kern1x4(bp, x[m*K:(m+1)*K], dst.Data[m*N+j0:m*N+j0+nw])
+			}
+		}
+	}
+	return true
+}
+
+// gemm8Asm is the amd64 int8 path: 8-row blocks run the PMADDWD kernel
+// into a stack tile, dequantized row by row; remainder rows fall back
+// to the scalar kernel. Integer accumulation is exact, so both paths
+// agree bit-for-bit.
+func gemm8Asm(dst *Matrix, s *int8Scratch, p *PanelsInt8) bool {
+	M, K, N := dst.Rows, p.K, p.N
+	kp := (K + 1) / 2
+	np := (N + PanelWidth - 1) / PanelWidth
+	stride := kp * 2 * PanelWidth
+	var tile [8 * PanelWidth]int32
+	for mc := 0; mc < M; mc += gemmMC {
+		m1 := mc + gemmMC
+		if m1 > M {
+			m1 = M
+		}
+		for pi := 0; pi < np; pi++ {
+			j0 := pi * PanelWidth
+			nw := N - j0
+			if nw > PanelWidth {
+				nw = PanelWidth
+			}
+			bp := p.Data[pi*stride : (pi+1)*stride]
+			sw, cs := p.Scale[j0:j0+nw], p.ColSum[j0:j0+nw]
+			m := mc
+			for ; m+8 <= m1; m += 8 {
+				kern8x4SSE8(&bp[0], &s.q[m*kp*2], kp*2, &tile[0], PanelWidth, kp)
+				for r := 0; r < 8; r++ {
+					dequantStore4(dst.Data[(m+r)*N+j0:(m+r)*N+j0+nw],
+						s.scale[m+r], s.zp[m+r], sw, cs, tile[r*PanelWidth:])
+				}
+			}
+			for ; m < m1; m++ {
+				a := s.q[m*kp*2 : (m+1)*kp*2]
+				tile[0], tile[1], tile[2], tile[3] = kern1x4Int8(bp, a)
+				dequantStore4(dst.Data[m*N+j0:m*N+j0+nw],
+					s.scale[m], s.zp[m], sw, cs, tile[:PanelWidth])
+			}
+		}
+	}
+	return true
+}

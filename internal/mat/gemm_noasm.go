@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package mat
+
+// The asm fast paths have no implementation off amd64; GemmPanels and
+// Gemm8 run the portable kernels instead.
+
+func gemmAsm64(dst *Matrix, x []float64, p *Panels[float64]) bool { return false }
+
+func gemmAsm32(dst *Matrix, x []float32, p *Panels[float32]) bool { return false }
+
+func gemm8Asm(dst *Matrix, s *int8Scratch, p *PanelsInt8) bool { return false }

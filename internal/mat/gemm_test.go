@@ -1,0 +1,238 @@
+package mat_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rt3/internal/mat"
+	"rt3/internal/testutil"
+)
+
+// sweepDims are the accumulator-tile edge cases: everything around the
+// 4- and 8-row blocks and the 4-wide panels, plus both sides of 16 and
+// 32. Every (M, K, N) triple from this set must agree with the naive
+// loop — the register-blocked remainder paths all get exercised.
+var sweepDims = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 32, 33}
+
+// servingShapes are the block-FC shapes the serving path actually runs
+// (batch x in x out at dim=192, ffn=768).
+var servingShapes = [][3]int{{256, 192, 768}, {256, 768, 192}, {8, 192, 768}, {64, 192, 192}}
+
+// TestGemmPanelsBitIdenticalSweep: the float64 packed path must equal
+// the naive triple loop bit for bit on every tile-edge shape. Register
+// blocking reorders work across dst elements, never within one
+// element's ascending-k sum, and the AVX kernel uses strict mul/add —
+// so tolerance here is exactly zero.
+func TestGemmPanelsBitIdenticalSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, M := range sweepDims {
+		for _, K := range sweepDims {
+			for _, N := range sweepDims {
+				x := mat.New(M, K)
+				x.Randomize(rng, 1)
+				w := mat.New(K, N)
+				w.Randomize(rng, 1)
+				want := mat.New(M, N)
+				testutil.NaiveMatMul(want, x, w)
+				got := mat.New(M, N)
+				mat.GemmPanels(got, x.Data, mat.PackPanels[float64](w))
+				if !mat.Equal(got, want, 0) {
+					t.Fatalf("%dx%dx%d: packed f64 differs from naive loop", M, K, N)
+				}
+			}
+		}
+	}
+}
+
+// TestGemmPanelsMatchesMatMulServing pins the packed path to the
+// production MatMul at the real serving shapes, still bit-exact.
+func TestGemmPanelsMatchesMatMulServing(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for _, sh := range servingShapes {
+		M, K, N := sh[0], sh[1], sh[2]
+		x := mat.New(M, K)
+		x.Randomize(rng, 1)
+		w := mat.New(K, N)
+		w.Randomize(rng, 1)
+		want := mat.New(M, N)
+		mat.MatMul(want, x, w)
+		got := mat.New(M, N)
+		mat.GemmPanels(got, x.Data, mat.PackPanels[float64](w))
+		if !mat.Equal(got, want, 0) {
+			t.Fatalf("%v: packed f64 differs from MatMul", sh)
+		}
+	}
+}
+
+// TestGemm32Sweep checks the float32 path against the naive float64
+// loop within the documented tolerance: the contraction runs in f32, so
+// per-element error grows like K * eps32 * |x||w| — 1e-3 covers every
+// sweep and serving shape at unit-scale data with wide margin.
+func TestGemm32Sweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	shapes := [][3]int{}
+	for _, d := range sweepDims {
+		shapes = append(shapes, [3]int{d, 17, 9}, [3]int{5, d, 7}, [3]int{3, 33, d})
+	}
+	shapes = append(shapes, servingShapes...)
+	for _, sh := range shapes {
+		M, K, N := sh[0], sh[1], sh[2]
+		x := mat.New(M, K)
+		x.Randomize(rng, 1)
+		w := mat.New(K, N)
+		w.Randomize(rng, 1)
+		want := mat.New(M, N)
+		testutil.NaiveMatMul(want, x, w)
+		got := mat.New(M, N)
+		mat.Gemm32(got, x, mat.PackPanels[float32](w))
+		if !mat.Equal(got, want, 1e-3) {
+			t.Fatalf("%v: f32 beyond tolerance", sh)
+		}
+	}
+}
+
+// TestGemm8Sweep checks the int8 path against an analytic per-element
+// error bound derived from the quantization scales: with x̂, ŵ the
+// dequantized values, |x̂-x| <= sx (rounding plus zero-point clamp) and
+// |ŵ-w| <= sw, so |ŷ-y| <= Σ_k sx·(|w|+sw) + |x|·sw. The integer
+// contraction itself is exact, so this bound is the whole error.
+func TestGemm8Sweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	shapes := [][3]int{}
+	for _, d := range sweepDims {
+		shapes = append(shapes, [3]int{d, 17, 9}, [3]int{5, d, 7}, [3]int{3, 33, d})
+	}
+	shapes = append(shapes, servingShapes...)
+	for _, sh := range shapes {
+		M, K, N := sh[0], sh[1], sh[2]
+		x := mat.New(M, K)
+		x.Randomize(rng, 1)
+		w := mat.New(K, N)
+		w.Randomize(rng, 1)
+		want := mat.New(M, N)
+		testutil.NaiveMatMul(want, x, w)
+		got := mat.New(M, N)
+		mat.Gemm8(got, x, mat.PackPanels8(w))
+		// per-column weight scale, per-row activation scale (the same
+		// formulas the implementation documents)
+		sw := make([]float64, N)
+		for j := 0; j < N; j++ {
+			maxAbs := 0.0
+			for k := 0; k < K; k++ {
+				if v := math.Abs(w.Data[k*N+j]); v > maxAbs {
+					maxAbs = v
+				}
+			}
+			sw[j] = maxAbs / 127
+			if sw[j] == 0 {
+				sw[j] = 1
+			}
+		}
+		for r := 0; r < M; r++ {
+			row := x.Data[r*K : (r+1)*K]
+			lo, hi := 0.0, 0.0
+			for _, v := range row {
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+			sx := (hi - lo) / 255
+			if sx == 0 {
+				sx = 1
+			}
+			for j := 0; j < N; j++ {
+				bound := 1e-12
+				for k := 0; k < K; k++ {
+					bound += sx*(math.Abs(w.Data[k*N+j])+sw[j]) + math.Abs(row[k])*sw[j]
+				}
+				diff := math.Abs(got.At(r, j) - want.At(r, j))
+				if diff > bound {
+					t.Fatalf("%v [%d,%d]: int8 error %g exceeds analytic bound %g", sh, r, j, diff, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestGemm8ExactZeroRows: all-zero activation rows must come out as
+// exact zeros — the affine range always spans zero, so sparsity in the
+// activations survives quantization.
+func TestGemm8ExactZeroRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	x := mat.New(6, 33)
+	x.Randomize(rng, 1)
+	for k := 0; k < 33; k++ {
+		x.Set(2, k, 0)
+		x.Set(5, k, 0)
+	}
+	w := mat.New(33, 17)
+	w.Randomize(rng, 1)
+	dst := mat.New(6, 17)
+	mat.Gemm8(dst, x, mat.PackPanels8(w))
+	for j := 0; j < 17; j++ {
+		if dst.At(2, j) != 0 || dst.At(5, j) != 0 {
+			t.Fatalf("zero row produced nonzero output at col %d", j)
+		}
+	}
+}
+
+// TestGemmZeroAllocSteadyState: after warm-up, every precision's hot
+// path must be allocation-free — scratch comes from free lists.
+func TestGemmZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	x := mat.New(16, 48)
+	x.Randomize(rng, 1)
+	w := mat.New(48, 24)
+	w.Randomize(rng, 1)
+	dst := mat.New(16, 24)
+	p64 := mat.PackPanels[float64](w)
+	p32 := mat.PackPanels[float32](w)
+	p8 := mat.PackPanels8(w)
+	for name, fn := range map[string]func(){
+		"f64":  func() { mat.GemmPanels(dst, x.Data, p64) },
+		"f32":  func() { mat.Gemm32(dst, x, p32) },
+		"int8": func() { mat.Gemm8(dst, x, p8) },
+	} {
+		if n := testing.AllocsPerRun(50, fn); n != 0 {
+			t.Errorf("%s: %v allocs per call in steady state", name, n)
+		}
+	}
+}
+
+// BenchmarkGemmPanels compares the packed micro-kernel precisions
+// against the dense MatMul baseline at the serving shapes.
+func BenchmarkGemmPanels(b *testing.B) {
+	rng := rand.New(rand.NewSource(87))
+	for _, sh := range servingShapes {
+		M, K, N := sh[0], sh[1], sh[2]
+		x := mat.New(M, K)
+		x.Randomize(rng, 1)
+		w := mat.New(K, N)
+		w.Randomize(rng, 1)
+		dst := mat.New(M, N)
+		p64 := mat.PackPanels[float64](w)
+		p32 := mat.PackPanels[float32](w)
+		p8 := mat.PackPanels8(w)
+		name := fmt.Sprintf("%dx%dx%d", M, K, N)
+		b.Run(name+"/matmul", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.MatMul(dst, x, w)
+			}
+		})
+		b.Run(name+"/packed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.GemmPanels(dst, x.Data, p64)
+			}
+		})
+		b.Run(name+"/f32", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.Gemm32(dst, x, p32)
+			}
+		})
+		b.Run(name+"/int8", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.Gemm8(dst, x, p8)
+			}
+		})
+	}
+}

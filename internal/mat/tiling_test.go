@@ -1,46 +1,17 @@
-package mat
+package mat_test
 
 import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"rt3/internal/mat"
+	"rt3/internal/testutil"
 )
 
-// naiveMatMulT is the untiled reference for dst = a @ b^T, kept here so
-// the tiled production kernel is checked (and benchmarked) against the
-// exact loop it replaced.
-func naiveMatMulT(dst, a, b *Matrix) {
-	for i := 0; i < a.Rows; i++ {
-		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
-		for j := 0; j < b.Rows; j++ {
-			bj := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var s float64
-			for k, av := range ai {
-				s += av * bj[k]
-			}
-			dst.Data[i*dst.Cols+j] = s
-		}
-	}
-}
-
-// naiveMatMulTA is the untiled reference for dst = a^T @ b.
-func naiveMatMulTA(dst, a, b *Matrix) {
-	dst.Zero()
-	n := b.Cols
-	for r := 0; r < a.Rows; r++ {
-		ar := a.Data[r*a.Cols : (r+1)*a.Cols]
-		br := b.Data[r*n : (r+1)*n]
-		for i, av := range ar {
-			if av == 0 {
-				continue
-			}
-			di := dst.Data[i*n : (i+1)*n]
-			for j, bv := range br {
-				di[j] += av * bv
-			}
-		}
-	}
-}
+// The untiled reference loops live in testutil (NaiveMatMulT and
+// friends) so the kernel and nn suites can check against the same
+// loops; this file keeps the tiled mat kernels honest against them.
 
 // TestMatMulTTiledBitIdentical sweeps shapes around the tile edge: the
 // tiled kernels must reproduce the naive loops bit for bit (the batched
@@ -49,15 +20,15 @@ func TestMatMulTTiledBitIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	for _, rows := range []int{1, 3, 31, 32, 33, 80, 100} {
 		for _, k := range []int{1, 8, 33} {
-			a := New(rows, k)
+			a := mat.New(rows, k)
 			a.Randomize(rng, 1)
-			b := New(rows+5, k)
+			b := mat.New(rows+5, k)
 			b.Randomize(rng, 1)
-			got := New(rows, rows+5)
-			want := New(rows, rows+5)
-			MatMulT(got, a, b)
-			naiveMatMulT(want, a, b)
-			if !Equal(got, want, 0) {
+			got := mat.New(rows, rows+5)
+			want := mat.New(rows, rows+5)
+			mat.MatMulT(got, a, b)
+			testutil.NaiveMatMulT(want, a, b)
+			if !mat.Equal(got, want, 0) {
 				t.Fatalf("MatMulT %dx%d @ (%dx%d)^T differs from naive loop", rows, k, rows+5, k)
 			}
 		}
@@ -70,20 +41,20 @@ func TestMatMulTATiledBitIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(73))
 	for _, rows := range []int{1, 7, 32, 33, 96} {
 		for _, cols := range []int{2, 17, 40} {
-			a := New(rows, cols)
+			a := mat.New(rows, cols)
 			a.Randomize(rng, 1)
 			for i := range a.Data {
 				if i%5 == 0 {
 					a.Data[i] = 0
 				}
 			}
-			b := New(rows, cols+3)
+			b := mat.New(rows, cols+3)
 			b.Randomize(rng, 1)
-			got := New(cols, cols+3)
-			want := New(cols, cols+3)
-			MatMulTA(got, a, b)
-			naiveMatMulTA(want, a, b)
-			if !Equal(got, want, 0) {
+			got := mat.New(cols, cols+3)
+			want := mat.New(cols, cols+3)
+			mat.MatMulTA(got, a, b)
+			testutil.NaiveMatMulTA(want, a, b)
+			if !mat.Equal(got, want, 0) {
 				t.Fatalf("MatMulTA (%dx%d)^T @ %dx%d differs from naive loop", rows, cols, rows, cols+3)
 			}
 		}
@@ -91,7 +62,7 @@ func TestMatMulTATiledBitIdentical(t *testing.T) {
 }
 
 func TestRowSpanSharesStorage(t *testing.T) {
-	m := New(6, 3)
+	m := mat.New(6, 3)
 	for i := range m.Data {
 		m.Data[i] = float64(i)
 	}
@@ -122,7 +93,7 @@ func TestRowSpanPanicsOutOfRange(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(4, 2).RowSpan(1, 5)
+	mat.New(4, 2).RowSpan(1, 5)
 }
 
 // benchTShapes are packed-batch-like shapes: many rows (ΣL of a fused
@@ -138,20 +109,20 @@ var benchTShapes = []struct{ rows, k int }{
 func BenchmarkMatMulT(b *testing.B) {
 	rng := rand.New(rand.NewSource(75))
 	for _, sh := range benchTShapes {
-		a := New(sh.rows, sh.k)
+		a := mat.New(sh.rows, sh.k)
 		a.Randomize(rng, 1)
-		c := New(sh.rows, sh.k)
+		c := mat.New(sh.rows, sh.k)
 		c.Randomize(rng, 1)
-		dst := New(sh.rows, sh.rows)
+		dst := mat.New(sh.rows, sh.rows)
 		name := fmt.Sprintf("%dx%d", sh.rows, sh.k)
 		b.Run(name+"/tiled", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				MatMulT(dst, a, c)
+				mat.MatMulT(dst, a, c)
 			}
 		})
 		b.Run(name+"/naive", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				naiveMatMulT(dst, a, c)
+				testutil.NaiveMatMulT(dst, a, c)
 			}
 		})
 	}
@@ -162,20 +133,20 @@ func BenchmarkMatMulT(b *testing.B) {
 func BenchmarkMatMulTA(b *testing.B) {
 	rng := rand.New(rand.NewSource(77))
 	for _, sh := range benchTShapes {
-		a := New(sh.rows, sh.k)
+		a := mat.New(sh.rows, sh.k)
 		a.Randomize(rng, 1)
-		c := New(sh.rows, sh.k+16)
+		c := mat.New(sh.rows, sh.k+16)
 		c.Randomize(rng, 1)
-		dst := New(sh.k, sh.k+16)
+		dst := mat.New(sh.k, sh.k+16)
 		name := fmt.Sprintf("%dx%d", sh.rows, sh.k)
 		b.Run(name+"/tiled", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				MatMulTA(dst, a, c)
+				mat.MatMulTA(dst, a, c)
 			}
 		})
 		b.Run(name+"/naive", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				naiveMatMulTA(dst, a, c)
+				testutil.NaiveMatMulTA(dst, a, c)
 			}
 		})
 	}

@@ -156,6 +156,42 @@ func TestLinearBufferReuse(t *testing.T) {
 	}
 }
 
+// TestLinearMicroKernelFormats installs each packed micro-kernel format
+// into Linear: "packed" (f64) must reproduce dense Forward bit for bit
+// (the bias add is the same code path), the reduced-precision formats
+// must land within their documented tolerances, and all of them must
+// run the layer's hot path allocation-free with buffer reuse on.
+func TestLinearMicroKernelFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	l := nn.NewLinear("l", 12, 9, rng)
+	x := mat.New(8, 12)
+	x.Randomize(rng, 1)
+	want := l.Forward(x).Clone()
+	for _, tc := range []struct {
+		format string
+		tol    float64
+	}{{"packed", 0}, {"f32", 1e-4}, {"int8", 0.5}} {
+		k, err := kernel.Build(tc.format, l.W.Value, kernel.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.format, err)
+		}
+		l.SetKernel(k)
+		if got := l.Forward(x); !mat.Equal(got, want, tc.tol) {
+			t.Fatalf("%s: Forward beyond tolerance %g of dense", tc.format, tc.tol)
+		}
+		l.SetBufferReuse(true)
+		l.Forward(x) // warm the buffer and kernel scratch
+		if allocs := testing.AllocsPerRun(50, func() { l.Forward(x) }); allocs != 0 {
+			t.Errorf("%s: %v allocs per Forward, want 0", tc.format, allocs)
+		}
+		l.SetBufferReuse(false)
+		l.SetKernel(nil)
+	}
+	if !mat.Equal(l.Forward(x), want, 0) {
+		t.Fatal("dense execution not restored")
+	}
+}
+
 // TestLinearPackedForwardZeroAllocs is the serving hot path contract at
 // the layer level: packed kernel + buffer reuse runs allocation-free in
 // steady state.

@@ -14,7 +14,6 @@ package sparse
 
 import (
 	"fmt"
-	"sync"
 
 	"rt3/internal/mat"
 )
@@ -282,12 +281,11 @@ type Pattern struct {
 	Tiles []patternTile
 
 	// scratch is a free list of transposed execution buffers for the
-	// batched fast path, guarded by mu: concurrent MulInto calls (serving
-	// replicas share one packed Pattern read-only) each pop their own
-	// buffers, so steady-state execution stays allocation-free without
-	// sharing mutable state across goroutines.
-	mu      sync.Mutex
-	scratch []*patternScratch
+	// batched fast path: concurrent MulInto calls (serving replicas share
+	// one packed Pattern read-only) each borrow their own buffers, so
+	// steady-state execution stays allocation-free without sharing
+	// mutable state across goroutines.
+	scratch mat.FreeList[*patternScratch]
 }
 
 // patternScratch holds one caller's transposed x and dst buffers.
@@ -295,31 +293,13 @@ type patternScratch struct {
 	xt, yt []float64
 }
 
+func newPatternScratch() *patternScratch { return new(patternScratch) }
+
 // patternBatchedMinRows is the batch-row threshold above which MulInto
 // switches to the batch-contiguous layout: below it the transpose
 // overhead outweighs the contiguous inner loop, and short inputs stay on
 // the row-outer path.
 const patternBatchedMinRows = 8
-
-// getScratch pops a scratch buffer set (or makes an empty one).
-func (p *Pattern) getScratch() *patternScratch {
-	p.mu.Lock()
-	if n := len(p.scratch); n > 0 {
-		s := p.scratch[n-1]
-		p.scratch = p.scratch[:n-1]
-		p.mu.Unlock()
-		return s
-	}
-	p.mu.Unlock()
-	return &patternScratch{}
-}
-
-// putScratch returns a scratch buffer set to the free list.
-func (p *Pattern) putScratch(s *patternScratch) {
-	p.mu.Lock()
-	p.scratch = append(p.scratch, s)
-	p.mu.Unlock()
-}
 
 type patternTile struct {
 	r0, c0 int
@@ -463,8 +443,8 @@ func (p *Pattern) MulInto(dst, x *mat.Matrix) {
 // mulIntoBatched is the batch-contiguous layout (see MulInto).
 func (p *Pattern) mulIntoBatched(dst, x *mat.Matrix) {
 	rows := x.Rows
-	s := p.getScratch()
-	defer p.putScratch(s)
+	s := p.scratch.Get(newPatternScratch)
+	defer p.scratch.Put(s)
 	s.xt = mat.GrowFloats(s.xt, p.Rows*rows)
 	s.yt = mat.GrowFloats(s.yt, p.Cols*rows)
 	xt, yt := s.xt, s.yt

@@ -1,0 +1,58 @@
+package testutil
+
+import "rt3/internal/mat"
+
+// Naive matrix-product references shared by the mat, kernel, and nn
+// test suites: the exact loops the production kernels replaced. Each
+// accumulates every dst element in ascending-k order, the property the
+// bit-identity tests key on — keep them boring.
+
+// NaiveMatMul is the untiled reference for dst = a @ b.
+func NaiveMatMul(dst, a, b *mat.Matrix) {
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := 0; j < n; j++ {
+			var s float64
+			for k, av := range ai {
+				s += av * b.Data[k*n+j]
+			}
+			dst.Data[i*n+j] = s
+		}
+	}
+}
+
+// NaiveMatMulT is the untiled reference for dst = a @ b^T.
+func NaiveMatMulT(dst, a, b *mat.Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := 0; j < b.Rows; j++ {
+			bj := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var s float64
+			for k, av := range ai {
+				s += av * bj[k]
+			}
+			dst.Data[i*dst.Cols+j] = s
+		}
+	}
+}
+
+// NaiveMatMulTA is the untiled reference for dst = a^T @ b, with the
+// same zero-skip the production gradient kernel applies.
+func NaiveMatMulTA(dst, a, b *mat.Matrix) {
+	dst.Zero()
+	n := b.Cols
+	for r := 0; r < a.Rows; r++ {
+		ar := a.Data[r*a.Cols : (r+1)*a.Cols]
+		br := b.Data[r*n : (r+1)*n]
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			di := dst.Data[i*n : (i+1)*n]
+			for j, bv := range br {
+				di[j] += av * bv
+			}
+		}
+	}
+}
