@@ -18,6 +18,7 @@ type jsonReport struct {
 	Decode   *decodeSection   `json:"decode,omitempty"`
 	Autotune *autotuneSection `json:"autotune,omitempty"`
 	Cluster  *clusterSection  `json:"cluster,omitempty"`
+	Chaos    *chaosSection    `json:"chaos,omitempty"`
 }
 
 type kernelsSection struct {
@@ -127,6 +128,37 @@ type clusterPhaseRow struct {
 	Verified     int     `json:"verified"`
 	Mismatches   int     `json:"mismatches"`
 	AffinityRate float64 `json:"affinity_hit_rate"`
+}
+
+type chaosSection struct {
+	Nodes       int           `json:"nodes"`
+	StepFloorMS float64       `json:"step_floor_ms"`
+	Scale       float64       `json:"scale"`
+	Arms        []chaosArmRow `json:"arms"`
+	// Determinism is the double-run: same seed, fresh fleets, identical
+	// fault schedule and response-set hash (the enforced replay contract).
+	Determinism *chaosDeterminism  `json:"determinism"`
+	Metrics     map[string]float64 `json:"metrics"` // last arm's rt3_cluster_*/rt3_router_*/rt3_breaker_* registry
+}
+
+type chaosArmRow struct {
+	Profile      string  `json:"profile"`
+	Trace        string  `json:"trace"`
+	Offered      int     `json:"offered"`
+	Completed    int     `json:"completed"`
+	Shed         int     `json:"shed"`
+	Failed       int     `json:"failed"`
+	TokensPerSec float64 `json:"tok_per_s"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	Verified     int     `json:"verified"`
+	Mismatches   int     `json:"mismatches"`
+	Failovers    int64   `json:"failovers,omitempty"`
+	Retries      int64   `json:"retries,omitempty"`
+	BreakerTrips int64   `json:"breaker_trips,omitempty"`
+	Rollouts     int64   `json:"rollouts,omitempty"`
+	FaultsFired  int     `json:"faults_fired"`
+	Replayed     int     `json:"replayed"`
 }
 
 // writeJSONReport serializes the collected report to path.

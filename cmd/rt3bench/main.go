@@ -11,6 +11,7 @@
 //	rt3bench -exp decode -decode-prompt 64 -decode-gen 64 -decode-batch 8
 //	rt3bench -exp autotune -autotune-duration 3s -autotune-rps 300
 //	rt3bench -exp cluster -cluster-nodes 1,2,4 -cluster-rps 700
+//	rt3bench -exp chaos -chaos-nodes 3 -chaos-scale 1
 package main
 
 import (
@@ -44,7 +45,7 @@ func parseNodeCounts(s string) ([]int, error) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rt3bench: ")
-	exp := flag.String("exp", "all", "experiment: all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels, decode, autotune, cluster")
+	exp := flag.String("exp", "all", "experiment: all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels, decode, autotune, cluster, chaos")
 	scaleFlag := flag.String("scale", "tiny", "model scale: tiny or small")
 	kernels := flag.String("kernel", "all", "kernels experiment: comma-separated registry formats (dense, coo, csr, blockcsr, pattern, packed, f32, int8) or all")
 	workers := flag.Int("workers", 1, "kernels experiment: parallel executor width per kernel")
@@ -73,6 +74,10 @@ func main() {
 	clStep := flag.Duration("cluster-step-floor", time.Millisecond, "cluster experiment: minimum wall time per fused step — pins per-node capacity so the scaling ratio measures the cluster, not the host")
 	clPolicy := flag.String("cluster-policy", "least-loaded", "cluster experiment: router policy (hash, least-loaded, p2c)")
 	clSeed := flag.Int64("cluster-seed", 1, "cluster experiment: rng seed (router decision traces replay from it)")
+	chNodes := flag.Int("chaos-nodes", 3, "chaos experiment: fleet size (>= 2; faults never target node 0, the dense-verify reference)")
+	chStep := flag.Duration("chaos-step-floor", time.Millisecond, "chaos experiment: minimum wall time per fused step — long enough that a crash reliably lands mid-generation")
+	chScale := flag.Float64("chaos-scale", 1, "chaos experiment: time scale applied to every trace bucket window (<1 compresses)")
+	chSeed := flag.Int64("chaos-seed", 1, "chaos experiment: rng seed (fault schedules, workloads, and router decisions all replay from it)")
 	jsonPath := flag.String("json", "", "write structured results plus a metrics snapshot to this file (kernels, decode, autotune and cluster experiments)")
 	flag.Parse()
 	if *jsonPath != "" {
@@ -215,14 +220,25 @@ func main() {
 			seed:        *clSeed,
 		})
 	})
+	run("chaos", func() error {
+		if *chNodes < 2 {
+			return fmt.Errorf("-chaos-nodes %d: the chaos fleet needs at least 2 nodes", *chNodes)
+		}
+		return runChaosBench(chaosBenchSpec{
+			nodes:     *chNodes,
+			stepFloor: *chStep,
+			scale:     *chScale,
+			seed:      *chSeed,
+		})
+	})
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels, decode, autotune or cluster)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all, tab1, tab2, tab3, tab4, fig3a, fig3bc, fig4, fig5, kernels, decode, autotune, cluster or chaos)\n", *exp)
 		os.Exit(2)
 	}
 	if jsonRep != nil {
-		if jsonRep.Kernels == nil && jsonRep.Decode == nil && jsonRep.Autotune == nil && jsonRep.Cluster == nil {
-			log.Fatalf("-json collects kernels, decode, autotune and cluster results; -exp %s produced none", *exp)
+		if jsonRep.Kernels == nil && jsonRep.Decode == nil && jsonRep.Autotune == nil && jsonRep.Cluster == nil && jsonRep.Chaos == nil {
+			log.Fatalf("-json collects kernels, decode, autotune, cluster and chaos results; -exp %s produced none", *exp)
 		}
 		if err := writeJSONReport(*jsonPath); err != nil {
 			log.Fatalf("-json: %v", err)

@@ -10,6 +10,7 @@ import (
 	"os"
 	"time"
 
+	"rt3/internal/chaos"
 	"rt3/internal/cluster"
 	"rt3/internal/deploy"
 	"rt3/internal/obs"
@@ -38,6 +39,15 @@ type clusterOpts struct {
 	genPrmpt  int
 	adminAddr string
 	traceOut  string
+
+	// vocab sizes the LM's token space (48 under -chaos, whose workload
+	// embeds GLUE examples; 24 otherwise).
+	vocab int
+	// chaos, when non-empty, fires that fault profile against the
+	// -chaos-workload trace instead of running the bursty ramp.
+	chaos         string
+	chaosWorkload string
+	chaosTraceOut string
 }
 
 // runCluster stands up N simulated nodes — each a full generation server
@@ -59,7 +69,7 @@ func runCluster(logger *obs.Logger, drain <-chan struct{}, o clusterOpts) {
 		// same seed on every node: identical weights and pattern sets,
 		// which is what makes cross-node failover replay and shared dense
 		// references meaningful
-		eng, nBytes, b := buildDeployment(o.seed, o.workers, true, serve.EngineConfig{
+		eng, nBytes, b := buildDeployment(o.seed, o.workers, true, o.vocab, serve.EngineConfig{
 			Format:        o.format,
 			KernelWorkers: o.kworkers,
 		})
@@ -81,7 +91,16 @@ func runCluster(logger *obs.Logger, drain <-chan struct{}, o clusterOpts) {
 	}
 	printDeployment(bundle, bundleBytes)
 
-	r := cluster.New(nodes, cluster.Config{Policy: pol, Seed: o.seed})
+	rcfg := cluster.Config{Policy: pol, Seed: o.seed}
+	if o.chaos != "" {
+		// the resilient-router knobs the chaos contract assumes: bounded
+		// seeded-jitter retries absorb fault transients, breakers stop
+		// hammering a struggling node
+		rcfg.MaxRetries = 200
+		rcfg.RetryBackoff = 500 * time.Microsecond
+		rcfg.Breaker = cluster.BreakerConfig{Enabled: true, Threshold: 5, Cooldown: 5 * time.Millisecond}
+	}
+	r := cluster.New(nodes, rcfg)
 	r.Start()
 	defer writeRouterTrace(logger, r, o.traceOut)
 	defer r.Stop()
@@ -109,6 +128,11 @@ func runCluster(logger *obs.Logger, drain <-chan struct{}, o clusterOpts) {
 		})
 		go func() { _ = http.Serve(ln, mux) }()
 		logger.Infof("admin endpoint on http://%s (/metrics /healthz /readyz /debug/pprof)", ln.Addr())
+	}
+
+	if o.chaos != "" {
+		runClusterChaos(logger, drain, r, o)
+		return
 	}
 
 	if !o.load {
@@ -164,6 +188,94 @@ func runCluster(logger *obs.Logger, drain <-chan struct{}, o clusterOpts) {
 	if rep.Failed > 0 || rep.Mismatches > 0 {
 		log.Fatalf("cluster demo failed: %d failed responses, %d dense mismatches", rep.Failed, rep.Mismatches)
 	}
+}
+
+// runClusterChaos fires the -chaos fault profile against the trace-
+// driven workload: the injector's schedule and the workload's arrival
+// sequence both derive from -seed, so the same invocation replays the
+// same faults against the same requests. Every completed response is
+// dense-verified (with -verify) on node 0, which the schedule never
+// faults, and the router's decision trace is replay-checked before
+// exit. A SIGTERM drain stops arrivals, cancels unfired faults, and
+// still flushes -chaos-trace-out and -trace-out.
+func runClusterChaos(logger *obs.Logger, drain <-chan struct{}, r *cluster.Router, o clusterOpts) {
+	spec, err := loadChaosTrace(o.chaosWorkload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := chaos.NewSchedule(o.chaos, o.nodes, spec.Duration(), o.seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger.Infof("chaos: profile %s over trace %s — %d fault(s) scheduled across %s, seed %d",
+		sched.Profile, spec.Name, len(sched.Events), spec.Duration(), o.seed)
+	rep, err := chaos.Scenario{
+		Router:   r,
+		Schedule: sched,
+		Spec:     spec,
+		Seed:     o.seed,
+		Vocab:    o.vocab,
+		Verify:   o.verify,
+		Cancel:   drain,
+		Metrics:  r.Metrics(),
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeInjectorTrace(logger, rep.Injector, o.chaosTraceOut)
+	fmt.Print(rep)
+	for _, f := range rep.Injector.Fired {
+		target := fmt.Sprintf("node %d", f.Event.Node)
+		if f.Event.Node < 0 {
+			target = "fleet"
+		}
+		fmt.Printf("  fault %d %-10s %-7s at %6.0fms: %s\n",
+			f.Seq, f.Event.Kind, target, f.FiredAt.Seconds()*1000, f.Outcome)
+	}
+	printClusterNodes(r)
+	if rep.ReplayErr != "" {
+		log.Fatalf("chaos demo failed: decision replay: %s", rep.ReplayErr)
+	}
+	if rep.Workload.Failed > 0 || rep.Workload.Mismatches > 0 || rep.Injector.ChaffFailed > 0 {
+		log.Fatalf("chaos demo failed: %d failed responses, %d dense mismatches, %d chaff failures",
+			rep.Workload.Failed, rep.Workload.Mismatches, rep.Injector.ChaffFailed)
+	}
+}
+
+// loadChaosTrace resolves -chaos-workload: a builtin trace name first,
+// else a path to a versioned trace JSON.
+func loadChaosTrace(name string) (*chaos.TraceSpec, error) {
+	if spec, err := chaos.LoadBuiltinTrace(name); err == nil {
+		return spec, nil
+	}
+	b, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("chaos workload %q is neither a builtin trace %v nor a readable file: %v",
+			name, chaos.BuiltinTraces(), err)
+	}
+	return chaos.ParseTrace(b)
+}
+
+// writeInjectorTrace dumps the injector's fired-fault record as JSON —
+// which fault landed when, against whom, with what outcome — alongside
+// the router decision trace a -trace-out run writes.
+func writeInjectorTrace(logger *obs.Logger, tr *chaos.InjectorTrace, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		logger.Errorf("chaos-trace-out: %v", err)
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tr); err != nil {
+		logger.Errorf("chaos-trace-out: %v", err)
+		return
+	}
+	logger.Infof("wrote %d fired fault(s) to %s", len(tr.Fired), path)
 }
 
 // clusterSmoke pushes a few generations per session through the router

@@ -37,6 +37,16 @@
 // replayable via cluster.Replay) instead of the Chrome trace dump, and
 // -verify dense-checks every generation.
 //
+// With -chaos <profile> (cluster mode) the bursty ramp is replaced by a
+// seeded chaos scenario: a deterministic fault schedule — crashes,
+// battery collapse, failed pattern switches, stragglers, overload
+// pulses, rollouts — fires at virtual-time offsets against the
+// -chaos-workload trace (builtin diurnal/flashcrowd or a trace JSON)
+// while the router absorbs the damage with retries, failover, and
+// per-node breakers. Every completed response dense-verifies against
+// node 0 (never faulted), the decision trace is replay-checked, and
+// -chaos-trace-out records which fault landed when with what outcome.
+//
 // SIGINT/SIGTERM drain gracefully in every -load mode: arrivals stop,
 // in-flight requests finish, reports print, and -trace-out flushes. The
 // admin /readyz endpoint flips to 503 the moment the drain begins.
@@ -52,6 +62,8 @@
 //	rt3serve -gen -load -autotune -duration 3s
 //	rt3serve -cluster 4
 //	rt3serve -cluster 4 -router least-loaded -load -duration 3s -step-floor 1ms
+//	rt3serve -cluster 3 -chaos crash
+//	rt3serve -cluster 3 -chaos all -chaos-workload flashcrowd -chaos-trace-out faults.json
 package main
 
 import (
@@ -115,6 +127,10 @@ func main() {
 		sessions  = flag.Int("sessions", 64, "cluster mode: distinct session keys in the generated load")
 		stepFloor = flag.Duration("step-floor", 0, "minimum wall time per fused execution step (models per-node compute capacity; cluster scaling demos rely on it)")
 
+		chaosProf  = flag.String("chaos", "", "cluster mode: fire this seeded fault profile against a trace-driven workload instead of the bursty ramp (none, crash, collapse, switchfail, slowdown, pulse, rollout, all)")
+		chaosWork  = flag.String("chaos-workload", "diurnal", "chaos mode: builtin workload trace (diurnal, flashcrowd) or a path to a versioned trace JSON")
+		chaosTrace = flag.String("chaos-trace-out", "", "chaos mode: write the injector's fired-fault trace as JSON on exit (flushed on SIGTERM drain too)")
+
 		adminAddr = flag.String("admin-addr", "", "serve /metrics, /trace, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
 		traceOut  = flag.String("trace-out", "", "write retained request traces as Chrome trace_event JSON to this file on exit")
 		quiet     = flag.Bool("quiet", false, "suppress progress logging (warnings and errors only)")
@@ -124,19 +140,32 @@ func main() {
 	logger := obs.NewLogger(os.Stderr, "rt3serve: ", obs.LevelFromFlags(*quiet, *verbose))
 	drain := installDrainHandler(logger)
 
+	if *chaosProf != "" && *clusterN == 0 {
+		log.Fatal("-chaos needs a fleet to fault: set -cluster N (N >= 2)")
+	}
 	if *clusterN > 0 {
 		if *autotune {
 			log.Fatal("-autotune drives a single server's level; cluster mode rolls levels out via drained switches instead")
 		}
 		// the single-server default battery (sized to force switches in a
 		// 2s demo) would knock every node out of rotation mid-load; in
-		// cluster mode the battery only drains when asked for explicitly
+		// cluster mode the battery only drains when asked for explicitly —
+		// except under -chaos, where the battery-collapse fault needs one
 		clusterBattery := 0.0
+		if *chaosProf != "" {
+			clusterBattery = 200
+		}
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "battery-j" {
 				clusterBattery = *batteryJ
 			}
 		})
+		// the chaos workload embeds GLUE classification examples, whose
+		// vocabulary (48 tokens) exceeds the demo LM's default 24
+		vocab := 24
+		if *chaosProf != "" {
+			vocab = 48
+		}
 		runCluster(logger, drain, clusterOpts{
 			nodes:     *clusterN,
 			policy:    *routerPol,
@@ -158,11 +187,16 @@ func main() {
 			genPrmpt:  *genPrmpt,
 			adminAddr: *adminAddr,
 			traceOut:  *traceOut,
+
+			vocab:         vocab,
+			chaos:         *chaosProf,
+			chaosWorkload: *chaosWork,
+			chaosTraceOut: *chaosTrace,
 		})
 		return
 	}
 
-	eng, bundleBytes, bundle := buildDeployment(*seed, *workers, *gen, serve.EngineConfig{
+	eng, bundleBytes, bundle := buildDeployment(*seed, *workers, *gen, 24, serve.EngineConfig{
 		Format:        *format,
 		KernelWorkers: *kworkers,
 	})
@@ -338,18 +372,18 @@ func printBatchStats(eng *serve.Engine) {
 // classifier, or the encoder-decoder LM in generation mode — serializes
 // its bundle, and deploys it onto cloned worker replicas with the
 // requested kernel format and intra-kernel parallelism.
-func buildDeployment(seed int64, workers int, gen bool, cfg serve.EngineConfig) (*serve.Engine, int, *deploy.Bundle) {
+func buildDeployment(seed int64, workers int, gen bool, vocab int, cfg serve.EngineConfig) (*serve.Engine, int, *deploy.Bundle) {
 	rng := rand.New(rand.NewSource(seed))
 	var model serve.Model
 	var clone func() serve.Model
 	if gen {
 		lm := transformer.NewLMModel(transformer.Config{
-			Vocab: 24, Dim: 16, Heads: 2, FFHidden: 32, EncLayers: 2, DecLayers: 1, SeqLen: 16,
+			Vocab: vocab, Dim: 16, Heads: 2, FFHidden: 32, EncLayers: 2, DecLayers: 1, SeqLen: 16,
 		}, rng)
 		model, clone = lm, func() serve.Model { return lm.Clone() }
 	} else {
 		cl := transformer.NewClassifier(transformer.Config{
-			Vocab: 24, Dim: 16, Heads: 2, FFHidden: 32, EncLayers: 2, SeqLen: 10, Classes: 3,
+			Vocab: vocab, Dim: 16, Heads: 2, FFHidden: 32, EncLayers: 2, SeqLen: 10, Classes: 3,
 		}, rng)
 		model, clone = cl, func() serve.Model { return cl.Clone() }
 	}

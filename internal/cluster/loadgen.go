@@ -164,7 +164,11 @@ func RunLoad(r *Router, spec LoadSpec) (*LoadReport, error) {
 		wg      sync.WaitGroup
 	)
 	start := time.Now()
-	next := start
+	// sched is the arrival clock: virtual time advanced by the rate
+	// profile, independent of wall-clock hiccups, so the arrival count
+	// and every sampled request are a pure function of the spec — two
+	// runs with the same seed offer the identical request sequence.
+	sched := time.Duration(0)
 arrivals:
 	for {
 		if spec.Cancel != nil {
@@ -174,16 +178,15 @@ arrivals:
 			default:
 			}
 		}
-		elapsed := time.Since(start)
-		if elapsed >= spec.Duration {
-			break
-		}
 		rps := spec.RPS
-		if spec.BurstPeriod > 0 && elapsed%spec.BurstPeriod >= spec.BurstPeriod/2 {
+		if spec.BurstPeriod > 0 && sched%spec.BurstPeriod >= spec.BurstPeriod/2 {
 			rps *= spec.BurstFactor
 		}
-		next = next.Add(time.Duration(float64(time.Second) / rps))
-		if d := time.Until(next); d > 0 {
+		sched += time.Duration(float64(time.Second) / rps)
+		if sched >= spec.Duration {
+			break
+		}
+		if d := time.Until(start.Add(sched)); d > 0 {
 			time.Sleep(d)
 		}
 		session := rng.Intn(spec.Sessions)
@@ -231,13 +234,16 @@ arrivals:
 
 	after := r.Stats()
 	report.Stats = Stats{
-		Dispatches:     after.Dispatches - before.Dispatches,
-		AffinityHits:   after.AffinityHits - before.AffinityHits,
-		AffinityMisses: after.AffinityMisses - before.AffinityMisses,
-		SessionPins:    after.SessionPins - before.SessionPins,
-		Failovers:      after.Failovers - before.Failovers,
-		Drops:          after.Drops - before.Drops,
-		Rollouts:       after.Rollouts - before.Rollouts,
+		Dispatches:       after.Dispatches - before.Dispatches,
+		AffinityHits:     after.AffinityHits - before.AffinityHits,
+		AffinityMisses:   after.AffinityMisses - before.AffinityMisses,
+		SessionPins:      after.SessionPins - before.SessionPins,
+		Failovers:        after.Failovers - before.Failovers,
+		Drops:            after.Drops - before.Drops,
+		Rollouts:         after.Rollouts - before.Rollouts,
+		Retries:          after.Retries - before.Retries,
+		DeadlineExceeded: after.DeadlineExceeded - before.DeadlineExceeded,
+		BreakerTrips:     after.BreakerTrips - before.BreakerTrips,
 	}
 	report.AffinityHitRate = report.Stats.AffinityHitRate()
 

@@ -91,9 +91,14 @@ func (n *Node) Inflight() int { return int(n.inflight.Load()) }
 func (n *Node) Dispatches() int64 { return n.dispatches.Load() }
 
 // Start launches the wrapped server and puts the node in rotation.
-func (n *Node) Start() {
+// Legal from Cold only; returns whether the transition happened (a
+// drained or down node is not restarted).
+func (n *Node) Start() bool {
+	if !n.state.CompareAndSwap(int32(Cold), int32(Active)) {
+		return false
+	}
 	n.srv.Start()
-	n.state.CompareAndSwap(int32(Cold), int32(Active))
+	return true
 }
 
 // Ready reports whether the router may dispatch new work here.
@@ -144,31 +149,60 @@ func (n *Node) StartDrain() bool {
 // delivered its response, then marks the node Drained — the quiesced
 // window a rollout performs its switch in. Poll granularity is modest
 // (200µs) because drains ride request tails measured in milliseconds.
-func (n *Node) AwaitDrained() {
-	for n.inflight.Load() > 0 {
+// Legal from Draining (idempotently true when already Drained); returns
+// whether the node ended up Drained — false when it was crashed or
+// restored concurrently, or was never draining.
+func (n *Node) AwaitDrained() bool {
+	for NodeState(n.state.Load()) == Draining && n.inflight.Load() > 0 {
 		time.Sleep(200 * time.Microsecond)
 	}
 	n.state.CompareAndSwap(int32(Draining), int32(Drained))
+	return NodeState(n.state.Load()) == Drained
 }
 
-// Restore puts a draining or drained node back in rotation.
-func (n *Node) Restore() {
-	n.state.CompareAndSwap(int32(Draining), int32(Active))
-	n.state.CompareAndSwap(int32(Drained), int32(Active))
+// Restore puts a draining or drained node back in rotation. Legal from
+// Draining and Drained only; returns whether the transition happened (a
+// cold, active, or down node is left untouched).
+func (n *Node) Restore() bool {
+	return n.state.CompareAndSwap(int32(Draining), int32(Active)) ||
+		n.state.CompareAndSwap(int32(Drained), int32(Active))
 }
 
 // Crash simulates the node dying: it leaves rotation immediately and
 // the wrapped server aborts in-flight work at fused-step boundaries
 // with serve.ErrCrashed — the partial responses the router's failover
-// path replays onto healthy nodes. Terminal.
-func (n *Node) Crash() {
-	n.state.Store(int32(Down))
+// path replays onto healthy nodes. Terminal; legal from every live
+// state (Cold, Active, Draining, Drained). Returns whether the node
+// went down now — false when it was already Down, so a chaos schedule
+// firing twice at the same target cannot double-kill.
+func (n *Node) Crash() bool {
+	if !n.transitionDown() {
+		return false
+	}
 	n.srv.Kill()
+	return true
 }
 
 // Stop gracefully stops the node: out of rotation, queued and in-flight
 // work runs to completion. Terminal, like Crash, but loses nothing.
-func (n *Node) Stop() {
-	n.state.Store(int32(Down))
+// Returns whether the node went down now (false when already Down).
+func (n *Node) Stop() bool {
+	if !n.transitionDown() {
+		return false
+	}
 	n.srv.Stop()
+	return true
+}
+
+// transitionDown moves any live state to Down exactly once.
+func (n *Node) transitionDown() bool {
+	for {
+		cur := n.state.Load()
+		if NodeState(cur) == Down {
+			return false
+		}
+		if n.state.CompareAndSwap(cur, int32(Down)) {
+			return true
+		}
+	}
 }

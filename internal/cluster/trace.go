@@ -19,6 +19,10 @@ const (
 	// DecisionFailover is a crash recovery: the policy chose the node a
 	// partially generated stream resumes on via truncate-replay.
 	DecisionFailover = "failover"
+	// DecisionRetry is a backoff re-dispatch: an earlier admission
+	// attempt failed retryably (queue full everywhere, or no ready node)
+	// and the policy re-picked after an exponential-backoff wait.
+	DecisionRetry = "retry"
 )
 
 // Decision is one recorded policy pick with the exact inputs it saw.
@@ -32,15 +36,30 @@ type Decision struct {
 	Node int `json:"node"`
 }
 
+// BreakerEvent is one circuit-breaker state transition, recorded in
+// dispatch order alongside the decisions. Breaker state never enters
+// Replay directly — its routing effect is fully captured by the ready
+// sets the decisions record (an open breaker removes its node from
+// them) — but the event log makes a chaos run's breaker behavior
+// auditable and replay-comparable.
+type BreakerEvent struct {
+	Seq  int    `json:"seq"`
+	Node int    `json:"node"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
 // Trace is the router's auditable decision log: every policy pick in
-// dispatch order, with the policy name and rng seed that produced it.
-// Like the autotune decision trace, it replays deterministically —
-// Replay re-runs the recorded inputs through a fresh policy and rng and
+// dispatch order, with the policy name and rng seed that produced it,
+// plus the circuit-breaker transitions observed along the way. Like the
+// autotune decision trace, it replays deterministically — Replay
+// re-runs the recorded inputs through a fresh policy and rng and
 // requires identical picks.
 type Trace struct {
-	Policy    string     `json:"policy"`
-	Seed      int64      `json:"seed"`
-	Decisions []Decision `json:"decisions"`
+	Policy    string         `json:"policy"`
+	Seed      int64          `json:"seed"`
+	Decisions []Decision     `json:"decisions"`
+	Breaker   []BreakerEvent `json:"breaker,omitempty"`
 }
 
 // Replay re-executes the trace from its seed: a fresh policy instance

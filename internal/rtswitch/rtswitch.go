@@ -158,6 +158,7 @@ type Reconfigurator struct {
 	current      int
 	switches     int
 	switchTimeMS float64
+	fault        error // one-shot armed switch fault (chaos injection)
 }
 
 // NewReconfigurator deploys sub-models (one per level).
@@ -211,11 +212,27 @@ func (r *Reconfigurator) SwitchTo(idx int) (float64, error) {
 	if idx == r.current {
 		return 0, nil
 	}
+	if r.fault != nil {
+		err := r.fault
+		r.fault = nil
+		return 0, fmt.Errorf("rtswitch: switch to level %d failed: %w", idx, err)
+	}
 	cost := r.Switch.PatternSwitchMS(r.SubModels[idx].MaskBytes)
 	r.current = idx
 	r.switches++
 	r.switchTimeMS += cost
 	return cost, nil
+}
+
+// InjectSwitchError arms a one-shot fault: the next SwitchTo that would
+// actually move (same-level no-ops don't consume it) fails with err
+// before any state is mutated — the active sub-model, switch count, and
+// cost accounting are untouched, exactly the contract a failed DMA
+// pattern swap leaves behind. A nil err disarms. Chaos harness hook.
+func (r *Reconfigurator) InjectSwitchError(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fault = err
 }
 
 // Stats returns the cumulative switch count and time.

@@ -1,6 +1,7 @@
 package rtswitch
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -196,6 +197,49 @@ func TestReconfigurator(t *testing.T) {
 	}
 	if _, err := r.SwitchTo(5); err == nil {
 		t.Fatal("out-of-range switch should error")
+	}
+}
+
+// TestInjectSwitchError: an armed fault fails exactly one real switch
+// attempt without mutating any reconfigurator state — same-level no-ops
+// don't consume it, and the next attempt after the fault succeeds.
+func TestInjectSwitchError(t *testing.T) {
+	levels := threeLevels()
+	subs := []SubModel{
+		{Name: "M1", MaskBytes: 1024},
+		{Name: "M2", MaskBytes: 1024},
+		{Name: "M3", MaskBytes: 2048},
+	}
+	r, err := NewReconfigurator(levels, subs, DefaultSwitchCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("dma abort")
+	r.InjectSwitchError(boom)
+	if cost, err := r.SwitchTo(0); err != nil || cost != 0 {
+		t.Fatalf("same-level no-op consumed the fault: cost %g err %v", cost, err)
+	}
+	if _, err := r.SwitchTo(1); !errors.Is(err, boom) {
+		t.Fatalf("armed fault not surfaced: %v", err)
+	}
+	if r.Current() != 0 {
+		t.Fatalf("failed switch mutated level: %d", r.Current())
+	}
+	if n, ms := r.Stats(); n != 0 || ms != 0 {
+		t.Fatalf("failed switch charged stats: %d switches %g ms", n, ms)
+	}
+	cost, err := r.SwitchTo(1)
+	if err != nil || cost <= 0 {
+		t.Fatalf("fault not one-shot: cost %g err %v", cost, err)
+	}
+	if r.Current() != 1 {
+		t.Fatal("post-fault switch did not take effect")
+	}
+	// nil disarms an armed fault
+	r.InjectSwitchError(errors.New("stale"))
+	r.InjectSwitchError(nil)
+	if _, err := r.SwitchTo(2); err != nil {
+		t.Fatalf("disarmed fault still fired: %v", err)
 	}
 }
 

@@ -1,0 +1,75 @@
+package serve_test
+
+import (
+	"testing"
+
+	"rt3/internal/serve"
+)
+
+// TestCollapseBattery pins the battery-collapse fault hook: the charge
+// jumps to the requested fraction (clamped), and servers without a
+// battery report the hook as inapplicable.
+func TestCollapseBattery(t *testing.T) {
+	eng, _ := newTestDeployment(t, 1)
+	srv := serve.New(eng, serve.Config{BatteryJ: 100})
+	if !srv.CollapseBattery(0.5) {
+		t.Fatal("collapse on battery-backed server should apply")
+	}
+	if f := srv.BatteryFraction(); f != 0.5 {
+		t.Fatalf("fraction %g, want 0.5", f)
+	}
+	if srv.CollapseBattery(-3); srv.BatteryFraction() != 0 {
+		t.Fatalf("fraction %g after clamp-low, want 0", srv.BatteryFraction())
+	}
+	if srv.CollapseBattery(7); srv.BatteryFraction() != 1 {
+		t.Fatalf("fraction %g after clamp-high, want 1", srv.BatteryFraction())
+	}
+	srv.Stop()
+
+	eng2, _ := newTestDeployment(t, 1)
+	noBat := serve.New(eng2, serve.Config{})
+	if noBat.CollapseBattery(0.5) {
+		t.Fatal("collapse without a battery should report false")
+	}
+	if f := noBat.BatteryFraction(); f != 1 {
+		t.Fatalf("batteryless fraction %g, want 1", f)
+	}
+	noBat.Stop()
+}
+
+// TestSetSlowdown pins the straggler-factor accessors and checks a
+// slowed server still serves correct responses (the factor only
+// stretches the modeled delay).
+func TestSetSlowdown(t *testing.T) {
+	eng, _ := newTestDeployment(t, 1)
+	srv := serve.New(eng, serve.Config{MaxBatch: 2, QueueCap: 8})
+	if f := srv.Slowdown(); f != 1 {
+		t.Fatalf("default slowdown %g, want 1", f)
+	}
+	srv.SetSlowdown(3)
+	if f := srv.Slowdown(); f != 3 {
+		t.Fatalf("slowdown %g, want 3", f)
+	}
+	srv.SetSlowdown(0.25) // <= 1 clears
+	if f := srv.Slowdown(); f != 1 {
+		t.Fatalf("slowdown %g after clear, want 1", f)
+	}
+	srv.SetSlowdown(2)
+	srv.Start()
+	defer srv.Stop()
+	ch, err := srv.Submit([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := <-ch
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	ref, err := srv.DenseReference(resp.Level, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Out.Rows != ref.Rows || resp.Out.Cols != ref.Cols {
+		t.Fatal("slowed response shape differs from dense reference")
+	}
+}

@@ -314,6 +314,12 @@ func (e *Engine) SwitchTo(idx int) (float64, error) {
 // SwitchStats returns the cumulative switch count and modeled time.
 func (e *Engine) SwitchStats() (int, float64) { return e.recon.Stats() }
 
+// InjectSwitchError arms a one-shot fault on the reconfigurator: the
+// next level change fails before mutating any state, so the engine
+// keeps serving the previous level with its kernels intact. Chaos
+// harness hook; a nil err disarms.
+func (e *Engine) InjectSwitchError(err error) { e.recon.InjectSwitchError(err) }
+
 // Forward runs one inference on the given replica at the active level.
 // The returned matrix is the caller's to keep: replicas reuse their
 // activation buffers, so the engine copies the output at the boundary.

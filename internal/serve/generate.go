@@ -141,9 +141,13 @@ func (sl *genSlot) done() bool {
 // sequences by one fused decode step, and evicts sequences that hit EOS
 // or their token budget — their responses are delivered and their KV
 // caches recycled through a free-list, so steady-state decoding
-// allocates nothing. The execMu read lock spans one admission + step,
-// so a live pattern-set/V/F switch drains in-flight work at step
-// granularity, exactly as it drains batches in classification mode.
+// allocates nothing. Queued classification requests ride the same loop:
+// each iteration drains up to MaxBatch of them and executes the batch
+// as one fused forward pass between decode steps (mixed traffic, one
+// level per iteration). The execMu read lock spans one admission +
+// classification batch + step, so a live pattern-set/V/F switch drains
+// in-flight work at step granularity, exactly as it drains batches in
+// classification mode.
 func (s *Server) decodeWorker(replica int) {
 	defer s.wg.Done()
 	var (
@@ -155,9 +159,11 @@ func (s *Server) decodeWorker(replica int) {
 		states   []*transformer.DecodeState
 		prompts  [][]int
 		tokens   []int
+		cls      []*request
+		clsIDs   [][]int
 	)
-	open := true
-	for open || len(slots) > 0 {
+	genOpen, clsOpen := true, true
+	for genOpen || clsOpen || len(slots) > 0 {
 		// a crash abandons in-flight sequences at the step boundary:
 		// responses carry ErrCrashed plus the committed token prefix a
 		// router resumes elsewhere via SubmitGenResume
@@ -176,36 +182,83 @@ func (s *Server) decodeWorker(replica int) {
 				s.tracer.Abort(r.tr)
 				r.resp <- GenResponse{Err: ErrCrashed}
 			}
+			for r := range s.in {
+				s.tracer.Abort(r.tr)
+				r.resp <- Response{Err: ErrCrashed}
+			}
 			return
 		}
-		// top the slots up to MaxBatch; block only when fully idle
 		admit = admit[:0]
-	admitLoop:
-		for open && len(slots)+len(admit) < s.cfg.MaxBatch {
-			if len(slots) == 0 && len(admit) == 0 {
+		cls = cls[:0]
+		// block only when fully idle: no active slots and nothing drained
+		// yet — the first arrival on either queue wakes the loop
+		if len(slots) == 0 {
+			switch {
+			case genOpen && clsOpen:
+				select {
+				case r, ok := <-s.genIn:
+					if !ok {
+						genOpen = false
+					} else {
+						admit = append(admit, r)
+					}
+				case r, ok := <-s.in:
+					if !ok {
+						clsOpen = false
+					} else {
+						cls = append(cls, r)
+					}
+				}
+			case genOpen:
 				r, ok := <-s.genIn
 				if !ok {
-					open = false
-					break admitLoop
+					genOpen = false
+				} else {
+					admit = append(admit, r)
 				}
-				admit = append(admit, r)
-				continue
+			case clsOpen:
+				r, ok := <-s.in
+				if !ok {
+					clsOpen = false
+				} else {
+					cls = append(cls, r)
+				}
 			}
+		}
+		// non-blocking top-ups on both queues
+	genTop:
+		for genOpen && len(slots)+len(admit) < s.cfg.MaxBatch {
 			select {
 			case r, ok := <-s.genIn:
 				if !ok {
-					open = false
-					break admitLoop
+					genOpen = false
+				} else {
+					admit = append(admit, r)
 				}
-				admit = append(admit, r)
 			default:
-				break admitLoop
+				break genTop
+			}
+		}
+	clsTop:
+		for clsOpen && len(cls) < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-s.in:
+				if !ok {
+					clsOpen = false
+				} else {
+					cls = append(cls, r)
+				}
+			default:
+				break clsTop
 			}
 		}
 
 		finished = finished[:0]
 		s.execMu.RLock()
 		level := s.eng.Level()
+		if len(cls) > 0 {
+			s.classifyBatch(replica, level, cls, &clsIDs)
+		}
 		if len(admit) > 0 {
 			admitOK = admitOK[:0]
 			states = states[:0]

@@ -310,12 +310,29 @@ func TestGenerateEOSEviction(t *testing.T) {
 	}
 }
 
-// TestGenerateModeErrors pins the admission surface of the two modes.
+// TestGenerateModeErrors pins the admission surface of the two modes:
+// a generation server serves mixed traffic (classification batches ride
+// between decode steps), while SubmitGen on a classification server
+// still refuses.
 func TestGenerateModeErrors(t *testing.T) {
 	eng, _ := newLMDeployment(t, 1, "pattern")
 	gen := serve.New(eng, serve.Config{Generate: true, MaxBatch: 2, QueueCap: 4})
-	if _, err := gen.Submit([]int{1, 2}); err != serve.ErrGenerating {
-		t.Fatalf("Submit on generation server: %v, want ErrGenerating", err)
+	gen.Start()
+	prompt := []int{1, 2}
+	ch, err := gen.Submit(prompt)
+	if err != nil {
+		t.Fatalf("Submit on generation server: %v, want mixed-mode admission", err)
+	}
+	resp := <-ch
+	if resp.Err != nil {
+		t.Fatalf("classification on generation server: %v", resp.Err)
+	}
+	ref, err := gen.DenseReference(resp.Level, prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(resp.Out, ref, 1e-9) {
+		t.Fatal("mixed-mode classification differs from dense execution")
 	}
 	if _, err := gen.SubmitGen(nil, 4, -1); err != serve.ErrEmptyRequest {
 		t.Fatalf("empty prompt: %v, want ErrEmptyRequest", err)
@@ -324,6 +341,9 @@ func TestGenerateModeErrors(t *testing.T) {
 	if _, err := gen.SubmitGen([]int{1}, 4, -1); err != serve.ErrStopped {
 		t.Fatalf("after stop: %v, want ErrStopped", err)
 	}
+	if _, err := gen.Submit([]int{1}); err != serve.ErrStopped {
+		t.Fatalf("Submit after stop: %v, want ErrStopped", err)
+	}
 
 	cls, _ := newTestDeployment(t, 1)
 	srv := serve.New(cls, serve.Config{})
@@ -331,6 +351,62 @@ func TestGenerateModeErrors(t *testing.T) {
 		t.Fatalf("SubmitGen on classification server: %v, want ErrNotGenerating", err)
 	}
 	srv.Stop()
+}
+
+// TestMixedModeTraffic drives concurrent classification and generation
+// traffic through one generation server and dense-verifies both kinds:
+// the decode loop interleaves classification batches between decode
+// steps without perturbing either output.
+func TestMixedModeTraffic(t *testing.T) {
+	eng, _ := newLMDeployment(t, 1, "pattern")
+	srv := serve.New(eng, serve.Config{Generate: true, MaxBatch: 4, QueueCap: 32})
+	srv.Start()
+	defer srv.Stop()
+
+	prompts := randSeqs(6, 4, lmCfg.Vocab, 907)
+	genCh := make([]<-chan serve.GenResponse, len(prompts))
+	clsCh := make([]<-chan serve.Response, len(prompts))
+	for i := range prompts {
+		gch, err := srv.SubmitGen(prompts[i], 5, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		genCh[i] = gch
+		cch, err := srv.Submit(prompts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		clsCh[i] = cch
+	}
+	for i := range prompts {
+		g := <-genCh[i]
+		if g.Err != nil {
+			t.Fatalf("generation %d: %v", i, g.Err)
+		}
+		ref, err := srv.DenseGenReference(g.Level, prompts[i], 5, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Tokens) != len(ref) {
+			t.Fatalf("generation %d: %d tokens, want %d", i, len(g.Tokens), len(ref))
+		}
+		for j := range ref {
+			if g.Tokens[j] != ref[j] {
+				t.Fatalf("generation %d token %d: got %d, want %d", i, j, g.Tokens[j], ref[j])
+			}
+		}
+		c := <-clsCh[i]
+		if c.Err != nil {
+			t.Fatalf("classification %d: %v", i, c.Err)
+		}
+		cref, err := srv.DenseReference(c.Level, prompts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mat.Equal(c.Out, cref, 1e-9) {
+			t.Fatalf("classification %d differs from dense execution", i)
+		}
+	}
 }
 
 // TestGenerateStopDrains: Stop delivers every admitted generation in

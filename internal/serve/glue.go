@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"rt3/internal/data"
+	"rt3/internal/mat"
+	"rt3/internal/metrics"
+)
+
+// TaskReport summarizes one GLUE-style evaluation split served through
+// the batching stack.
+type TaskReport struct {
+	Name   string  // task name (e.g. "SST-2")
+	Metric string  // scoring metric (accuracy / F1 / MCC / Spearman)
+	Score  float64 // metric over the split, computed from served outputs
+	// Examples is the number of eval examples scored (= responses).
+	Examples int
+	// Levels counts responses per pattern-set level index.
+	Levels map[int]int
+
+	Verified   int
+	Mismatches int
+}
+
+// String renders the report in the repo's table style.
+func (r *TaskReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %s %.4f over %d examples", r.Name, r.Metric, r.Score, r.Examples)
+	if r.Verified > 0 {
+		fmt.Fprintf(&b, "  (verified %d, %d mismatches)", r.Verified, r.Mismatches)
+	}
+	return b.String()
+}
+
+// RunTask serves a GLUE-style task's eval split through a started
+// server's batching path — every example is submitted as classification
+// traffic and scored with the task's own metric (argmax label for
+// classification kinds, the raw regression head for STS-B). On a
+// Generate-mode server the examples interleave with decode steps, which
+// is exactly the mixed workload the chaos harness replays. With verify,
+// every served output is recomputed against masked dense execution at
+// the level it was served on.
+func RunTask(s *Server, task *data.Task, verify bool) (*TaskReport, error) {
+	if task == nil || len(task.Eval) == 0 {
+		return nil, fmt.Errorf("serve: RunTask needs a task with a non-empty eval split")
+	}
+	chans := make([]<-chan Response, len(task.Eval))
+	for i, ex := range task.Eval {
+		ch, err := s.Submit(ex.Tokens)
+		if err != nil {
+			return nil, fmt.Errorf("serve: submit eval example %d: %w", i, err)
+		}
+		chans[i] = ch
+	}
+	report := &TaskReport{
+		Name:     task.Spec.Name,
+		Metric:   task.Spec.Kind.String(),
+		Examples: len(task.Eval),
+		Levels:   map[int]int{},
+	}
+	responses := make([]Response, len(chans))
+	for i, ch := range chans {
+		resp := <-ch
+		if resp.Err != nil {
+			return nil, fmt.Errorf("serve: eval example %d: %w", i, resp.Err)
+		}
+		responses[i] = resp
+		report.Levels[resp.Level]++
+	}
+
+	if task.Spec.Classes == 1 {
+		pred := make([]float64, len(responses))
+		gold := make([]float64, len(responses))
+		for i, resp := range responses {
+			pred[i] = resp.Out.At(0, 0)
+			gold[i] = task.Eval[i].Score
+		}
+		report.Score = metrics.SpearmanRho(pred, gold)
+	} else {
+		pred := make([]int, len(responses))
+		gold := make([]int, len(responses))
+		for i, resp := range responses {
+			pred[i] = resp.Out.ArgmaxRow(0)
+			gold[i] = task.Eval[i].Label
+		}
+		switch task.Spec.Kind {
+		case data.KindF1:
+			report.Score = metrics.F1(pred, gold)
+		case data.KindMCC:
+			report.Score = metrics.MCC(pred, gold)
+		default:
+			report.Score = metrics.Accuracy(pred, gold)
+		}
+	}
+
+	if verify {
+		// recompute each (level, example) once via dense execution
+		refs := map[[2]int]*mat.Matrix{}
+		for i, resp := range responses {
+			key := [2]int{resp.Level, i}
+			ref, ok := refs[key]
+			if !ok {
+				var err error
+				ref, err = s.DenseReference(resp.Level, task.Eval[i].Tokens)
+				if err != nil {
+					return nil, err
+				}
+				refs[key] = ref
+			}
+			report.Verified++
+			if !mat.Equal(resp.Out, ref, 1e-9) {
+				report.Mismatches++
+			}
+		}
+	}
+	return report, nil
+}

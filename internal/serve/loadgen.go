@@ -188,7 +188,12 @@ func RunLoad(s *Server, spec LoadSpec) (*LoadReport, error) {
 	var inflight []pending
 	var genFlight []<-chan GenResponse
 	start := time.Now()
-	next := start
+	// sched is the arrival clock: virtual time advanced by the rate
+	// profile rather than wall-clock reads, so the arrival count and
+	// every sampled request are a pure function of the spec — two runs
+	// with the same seed offer the identical request sequence even when
+	// the server stalls the submitting goroutine.
+	sched := time.Duration(0)
 arrivals:
 	for {
 		if spec.Cancel != nil {
@@ -198,17 +203,16 @@ arrivals:
 			default:
 			}
 		}
-		elapsed := time.Since(start)
-		if elapsed >= spec.Duration {
-			break
-		}
-		frac := float64(elapsed) / float64(spec.Duration)
+		frac := float64(sched) / float64(spec.Duration)
 		rps := spec.StartRPS + (spec.EndRPS-spec.StartRPS)*frac
-		if spec.BurstPeriod > 0 && elapsed%spec.BurstPeriod >= spec.BurstPeriod/2 {
+		if spec.BurstPeriod > 0 && sched%spec.BurstPeriod >= spec.BurstPeriod/2 {
 			rps *= spec.BurstFactor
 		}
-		next = next.Add(time.Duration(float64(time.Second) / rps))
-		if d := time.Until(next); d > 0 {
+		sched += time.Duration(float64(time.Second) / rps)
+		if sched >= spec.Duration {
+			break
+		}
+		if d := time.Until(start.Add(sched)); d > 0 {
 			time.Sleep(d)
 		}
 		idx := rng.Intn(len(pool))

@@ -1,0 +1,93 @@
+package serve_test
+
+import (
+	"testing"
+	"time"
+
+	"rt3/internal/serve"
+)
+
+// TestRunLoadZeroDuration: a zero or negative duration is a spec error,
+// not an empty run.
+func TestRunLoadZeroDuration(t *testing.T) {
+	eng, _ := newTestDeployment(t, 1)
+	srv := serve.New(eng, serve.Config{MaxBatch: 2, QueueCap: 8})
+	srv.Start()
+	defer srv.Stop()
+	if _, err := serve.RunLoad(srv, serve.LoadSpec{Duration: 0}); err == nil {
+		t.Fatal("zero duration should error")
+	}
+	if _, err := serve.RunLoad(srv, serve.LoadSpec{Duration: -time.Second}); err == nil {
+		t.Fatal("negative duration should error")
+	}
+}
+
+// TestRunLoadBurstFactorBelowOne: a factor in (0, 1) is a valid
+// anti-burst (the rate dips during burst phases) and must not be
+// clobbered by the default-3 rule, which only fires for factor <= 0.
+// With the virtual arrival clock the offered count is an exact function
+// of the profile, so halving the second half-period shows up as fewer
+// arrivals than the flat profile.
+func TestRunLoadBurstFactorBelowOne(t *testing.T) {
+	eng, _ := newTestDeployment(t, 1)
+	srv := serve.New(eng, serve.Config{MaxBatch: 4, QueueCap: 256})
+	srv.Start()
+	defer srv.Stop()
+
+	flat, err := serve.RunLoad(srv, serve.LoadSpec{
+		Duration: 80 * time.Millisecond, StartRPS: 500, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dipped, err := serve.RunLoad(srv, serve.LoadSpec{
+		Duration: 80 * time.Millisecond, StartRPS: 500, Seed: 7,
+		BurstPeriod: 20 * time.Millisecond, BurstFactor: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dipped.Offered >= flat.Offered {
+		t.Fatalf("BurstFactor 0.5 offered %d, want fewer than flat %d", dipped.Offered, flat.Offered)
+	}
+	// the dip halves the rate for half the run: expect roughly 3/4 the
+	// flat volume, certainly more than half of it
+	if dipped.Offered < flat.Offered/2 {
+		t.Fatalf("BurstFactor 0.5 offered %d, implausibly low vs flat %d", dipped.Offered, flat.Offered)
+	}
+}
+
+// TestRunLoadDeterministicCounts: two runs with the same spec and seed
+// offer the identical arrival sequence — the virtual arrival clock makes
+// the counts a pure function of the spec, immune to scheduler jitter.
+func TestRunLoadDeterministicCounts(t *testing.T) {
+	eng, _ := newTestDeployment(t, 1)
+	srv := serve.New(eng, serve.Config{MaxBatch: 4, QueueCap: 512})
+	srv.Start()
+	defer srv.Stop()
+
+	spec := serve.LoadSpec{
+		Duration: 60 * time.Millisecond, StartRPS: 300, EndRPS: 900,
+		BurstPeriod: 15 * time.Millisecond, BurstFactor: 2,
+		PoolSize: 8, Seed: 42,
+	}
+	a, err := serve.RunLoad(srv, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := serve.RunLoad(srv, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Offered != b.Offered {
+		t.Fatalf("offered differs across identical runs: %d vs %d", a.Offered, b.Offered)
+	}
+	// the queue is deep enough that nothing sheds: every offer completes,
+	// so the downstream counts are pinned too
+	if a.Dropped != 0 || b.Dropped != 0 {
+		t.Fatalf("unexpected drops: %d / %d", a.Dropped, b.Dropped)
+	}
+	if a.Completed != a.Offered || b.Completed != b.Offered {
+		t.Fatalf("completed != offered: %d/%d and %d/%d", a.Completed, a.Offered, b.Completed, b.Offered)
+	}
+}

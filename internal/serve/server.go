@@ -3,7 +3,9 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rt3/internal/dvfs"
@@ -19,7 +21,6 @@ var (
 	ErrCrashed       = errors.New("serve: server crashed")
 	ErrEmptyRequest  = errors.New("serve: empty token sequence")
 	ErrNotGenerating = errors.New("serve: SubmitGen requires Config.Generate")
-	ErrGenerating    = errors.New("serve: Submit unavailable in generation mode; use SubmitGen")
 )
 
 // Config tunes the server. Zero values pick the documented defaults.
@@ -40,8 +41,10 @@ type Config struct {
 	// requests into up to MaxBatch decode slots every step (prefill as
 	// one fused packed pass, then one token per fused step) and evicting
 	// on EOS or token budget. Requires replicas implementing DecodeModel
-	// (e.g. transformer.LMModel); Submit then fails with ErrGenerating
-	// and requests enter through SubmitGen.
+	// (e.g. transformer.LMModel). Submit still works — the step loop
+	// serves mixed traffic, executing queued classification batches as
+	// fused forward passes between decode steps — so one queue carries
+	// classify+generate workloads.
 	Generate bool
 	// MaxGenTokens caps generated tokens per request when the request
 	// does not set its own budget (default 32).
@@ -190,6 +193,12 @@ type Server struct {
 	batMu   sync.Mutex
 	battery *dvfs.Battery // guarded by batMu
 
+	// slowdown is the transient straggler factor (>= 1) chaos injection
+	// applies to every fused execution's modeled duration, stored as
+	// math.Float64bits for lock-free reads on the step path (0 ≡ 1,
+	// unset).
+	slowdown atomic.Uint64
+
 	in      chan *request
 	genIn   chan *genReq
 	batches chan []*request
@@ -305,11 +314,10 @@ func (s *Server) Start() {
 // arrive on (buffered; exactly one send). It fails fast with
 // ErrEmptyRequest for a zero-length sequence (the packed batch forward
 // has no representation for it), ErrQueueFull when the queue is at
-// capacity, and ErrStopped after Stop.
+// capacity, and ErrStopped after Stop. In Generate mode the request is
+// served by the decode loops between fused decode steps (mixed
+// classify+generate traffic in one queue).
 func (s *Server) Submit(ids []int) (<-chan Response, error) {
-	if s.cfg.Generate {
-		return nil, ErrGenerating
-	}
 	if len(ids) == 0 {
 		return nil, ErrEmptyRequest
 	}
@@ -441,6 +449,44 @@ func (s *Server) BatteryFraction() float64 {
 	return s.battery.Fraction()
 }
 
+// CollapseBattery forces the simulated battery to the given fraction of
+// its capacity (clamped to [0, 1]) — the chaos injector's battery-
+// collapse fault. At fraction 0 the node's readiness probe fails on the
+// next check and a cluster router routes around it; in-flight work
+// still completes (energy drains floor at empty, they never error).
+// Reports whether a battery was configured.
+func (s *Server) CollapseBattery(frac float64) bool {
+	if s.battery == nil {
+		return false
+	}
+	frac = math.Max(0, math.Min(1, frac))
+	s.batMu.Lock()
+	defer s.batMu.Unlock()
+	s.battery.Remaining = s.battery.Capacity * frac
+	return true
+}
+
+// SetSlowdown sets the straggler factor f applied to every fused
+// execution: the worker idles until f times the modeled (or, absent a
+// model, measured) duration has elapsed — a transient per-node
+// slowdown under chaos injection. f <= 1 clears it.
+func (s *Server) SetSlowdown(f float64) {
+	if f <= 1 {
+		s.slowdown.Store(0)
+		return
+	}
+	s.slowdown.Store(math.Float64bits(f))
+}
+
+// Slowdown returns the active straggler factor (1 when unset).
+func (s *Server) Slowdown() float64 {
+	b := s.slowdown.Load()
+	if b == 0 {
+		return 1
+	}
+	return math.Float64frombits(b)
+}
+
 // SwitchTo performs a guarded live reconfiguration to level idx: it
 // blocks new batch execution, waits for in-flight batches to drain,
 // swaps the engine's pattern set, and records the modeled swap cost plus
@@ -502,7 +548,6 @@ func (s *Server) batcher() {
 		if len(batch) == 0 {
 			return
 		}
-		s.rec.ObserveBatch(len(batch), s.cfg.MaxBatch)
 		s.batches <- batch
 		batch = nil
 	}
@@ -549,45 +594,55 @@ func (s *Server) worker(replica int) {
 			continue
 		}
 		s.execMu.RLock()
-		level := s.eng.Level()
-		ids = ids[:0]
-		for _, r := range batch {
-			ids = append(ids, r.ids)
-		}
-		dispatch := time.Now()
-		outs := s.eng.ForwardBatch(replica, ids)
-		s.simDVFSDelay(level, dispatch)
-		done := time.Now()
-		execMS := float64(done.Sub(dispatch).Microseconds()) / 1000
-		fill := float64(len(batch)) / float64(s.cfg.MaxBatch)
-		gemms := float64(s.eng.PrunableLinearCount())
-		for i, r := range batch {
-			queueMS := float64(dispatch.Sub(r.enq).Microseconds()) / 1000
-			r.resp <- Response{
-				Out:       outs[i],
-				Level:     level,
-				QueueMS:   queueMS,
-				ExecMS:    execMS,
-				TotalMS:   queueMS + execMS,
-				BatchSize: len(batch),
-			}
-			r.tr.Add("queue", r.enq, dispatch.Sub(r.enq), "batch", float64(len(batch)), "", 0)
-			r.tr.Add("batch_form", dispatch, 0, "fill", fill, "fused_gemms", gemms)
-			r.tr.Add("exec", dispatch, done.Sub(dispatch), "level", float64(level), "batch", float64(len(batch)))
-			s.tracer.Finish(r.tr)
-			s.rec.Observe(level, queueMS, execMS)
-			s.drainEnergy(level, 1)
-		}
+		s.classifyBatch(replica, s.eng.Level(), batch, &ids)
 		s.execMu.RUnlock()
 	}
 }
 
+// classifyBatch executes one classification batch as a single fused
+// forward pass and delivers the per-request responses — the shared core
+// of the classification workers and the decode loops' mixed-traffic
+// path (where it runs between fused decode steps). Called with execMu
+// read-held; ids is the caller's reusable scratch.
+func (s *Server) classifyBatch(replica, level int, batch []*request, ids *[][]int) {
+	*ids = (*ids)[:0]
+	for _, r := range batch {
+		*ids = append(*ids, r.ids)
+	}
+	dispatch := time.Now()
+	outs := s.eng.ForwardBatch(replica, *ids)
+	s.simDVFSDelay(level, dispatch)
+	done := time.Now()
+	execMS := float64(done.Sub(dispatch).Microseconds()) / 1000
+	fill := float64(len(batch)) / float64(s.cfg.MaxBatch)
+	gemms := float64(s.eng.PrunableLinearCount())
+	s.rec.ObserveBatch(len(batch), s.cfg.MaxBatch)
+	for i, r := range batch {
+		queueMS := float64(dispatch.Sub(r.enq).Microseconds()) / 1000
+		r.resp <- Response{
+			Out:       outs[i],
+			Level:     level,
+			QueueMS:   queueMS,
+			ExecMS:    execMS,
+			TotalMS:   queueMS + execMS,
+			BatchSize: len(batch),
+		}
+		r.tr.Add("queue", r.enq, dispatch.Sub(r.enq), "batch", float64(len(batch)), "", 0)
+		r.tr.Add("batch_form", dispatch, 0, "fill", fill, "fused_gemms", gemms)
+		r.tr.Add("exec", dispatch, done.Sub(dispatch), "level", float64(level), "batch", float64(len(batch)))
+		s.tracer.Finish(r.tr)
+		s.rec.Observe(level, queueMS, execMS)
+		s.drainEnergy(level, 1)
+	}
+}
+
 // simDVFSDelay stretches the fused execution that started at t0 to its
-// modeled duration (a no-op unless Config.SimDVFS or Config.StepFloor is
-// set): having run the work at host speed, the worker idles until the
-// larger of f_fastest/f_level times the measured time (SimDVFS) and the
-// absolute StepFloor has elapsed. Called with execMu read-held, so the
-// stretched execution drains like real execution.
+// modeled duration (a no-op unless Config.SimDVFS, Config.StepFloor, or
+// a chaos slowdown is set): having run the work at host speed, the
+// worker idles until the larger of f_fastest/f_level times the measured
+// time (SimDVFS) and the absolute StepFloor has elapsed, the whole
+// target scaled by the active straggler factor. Called with execMu
+// read-held, so the stretched execution drains like real execution.
 func (s *Server) simDVFSDelay(level int, t0 time.Time) {
 	target := s.cfg.StepFloor
 	if s.cfg.SimDVFS {
@@ -597,6 +652,12 @@ func (s *Server) simDVFSDelay(level int, t0 time.Time) {
 				target = t
 			}
 		}
+	}
+	if f := s.Slowdown(); f > 1 {
+		if target <= 0 {
+			target = time.Since(t0)
+		}
+		target = time.Duration(float64(target) * f)
 	}
 	if target <= 0 {
 		return
