@@ -1,0 +1,419 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rt3/internal/mat"
+	"rt3/internal/pattern"
+	"rt3/internal/rtswitch"
+	"rt3/internal/serve"
+	"rt3/internal/spec"
+	"rt3/internal/transformer"
+)
+
+// specBenchSpec shapes the self-speculative decoding benchmark: a
+// draft-level acceptance sweep over K at the natural (divergent) pattern
+// levels, an aligned-support arm whose acceptance is 1 by construction
+// (the enforced >= 1.5x generated-tok/s floor), and a shared-prompt
+// radix-cache arm (the enforced >= 1.3x prefill-rows floor). Every
+// speculative stream is verified token-for-token against the plain
+// cached loop and the masked dense reference before any timing counts.
+type specBenchSpec struct {
+	prompt int // prompt tokens per sequence
+	gen    int // tokens generated per sequence
+	batch  int // sequences decoded together
+	k      int // draft length of the aligned floor arm (sweep uses 1..4)
+	seed   int64
+}
+
+// specFloorTokS is the enforced aligned-arm speedup floor: speculative
+// generated tok/s over the plain cached loop, with acceptance pinned at
+// 1 by the aligned-support construction.
+const specFloorTokS = 1.5
+
+// prefixFloorRows is the enforced shared-prompt floor: prefill rows the
+// uncached server computes over rows the radix-cached server computes,
+// on the same request sequence (deterministic counter ratio, no timing).
+const prefixFloorRows = 1.3
+
+// specLM adapts one engine replica to spec.DecodeLM. Engine errors are
+// configuration bugs in a bench that just built the engine, so panic.
+type specLM struct {
+	eng *serve.Engine
+}
+
+func (x specLM) DecodeStep(states []*transformer.DecodeState, tokens []int) *mat.Matrix {
+	logits, err := x.eng.DecodeBatch(0, states, tokens)
+	if err != nil {
+		panic(err)
+	}
+	return logits
+}
+
+func (x specLM) DecodeChunk(states []*transformer.DecodeState, chunks [][]int) []*mat.Matrix {
+	outs, err := x.eng.DecodeChunkBatch(0, states, chunks)
+	if err != nil {
+		panic(err)
+	}
+	return outs
+}
+
+func (x specLM) NewDecodeState() *transformer.DecodeState {
+	st, err := x.eng.NewDecodeState(0)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+func (x specLM) Prefill(states []*transformer.DecodeState, prompts [][]int) []*mat.Matrix {
+	outs, err := x.eng.PrefillBatch(0, states, prompts)
+	if err != nil {
+		panic(err)
+	}
+	return outs
+}
+
+// specOptions brackets the draft phase with a kernel swap to draftLvl
+// on replica 0, restoring level 0 (the bench's target) afterwards.
+func specOptions(eng *serve.Engine, k, draftLvl int) spec.Options {
+	return spec.Options{
+		K:          k,
+		BeginDraft: func() { _ = eng.InstallReplicaLevel(0, draftLvl) },
+		EndDraft:   func() { _ = eng.InstallReplicaLevel(0, 0) },
+	}
+}
+
+// plainGenerate is the reference arm: prefill plus one fused cached
+// decode step per token, greedy, no speculation.
+func plainGenerate(eng *serve.Engine, prompts [][]int, gen int) [][]int {
+	states := make([]*transformer.DecodeState, len(prompts))
+	for i := range states {
+		st, err := eng.NewDecodeState(0)
+		if err != nil {
+			panic(err)
+		}
+		st.Reserve(len(prompts[i]) + gen)
+		states[i] = st
+	}
+	outs, err := eng.PrefillBatch(0, states, prompts)
+	if err != nil {
+		panic(err)
+	}
+	tokens := make([]int, len(prompts))
+	streams := make([][]int, len(prompts))
+	for i := range prompts {
+		tokens[i] = outs[i].ArgmaxRow(outs[i].Rows - 1)
+		streams[i] = append(streams[i], tokens[i])
+	}
+	for s := 1; s < gen; s++ {
+		logits, err := eng.DecodeBatch(0, states, tokens)
+		if err != nil {
+			panic(err)
+		}
+		for i := range prompts {
+			tokens[i] = logits.ArgmaxRow(i)
+			streams[i] = append(streams[i], tokens[i])
+		}
+	}
+	return streams
+}
+
+// equalStreams reports whether two token stream sets are identical.
+func equalStreams(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildSpecDeployment deploys an LM with the given pattern sets onto a
+// fresh single-replica pattern-format engine.
+func buildSpecDeployment(model *transformer.LMModel, sets []*pattern.Set, names []string) (*serve.Engine, error) {
+	bundle := serve.BundleFromModel(model, sets, names)
+	return serve.NewEngineConfigured(bundle, []serve.Model{model.Clone()},
+		rtswitch.DefaultSwitchCostModel(), serve.EngineConfig{Format: "pattern"})
+}
+
+// alignedSupportModel builds the provable-acceptance deployment: two
+// single-pattern sets whose kept positions nest (draft subset target),
+// and model weights zeroed outside the draft support. Masked weights
+// are then identical at both levels — the draft level computes exactly
+// the target function, so every draft token verifies (acceptance = 1) —
+// while the draft kernels still iterate only their own pattern's slots,
+// keeping draft steps cheap in proportion to pattern density.
+func alignedSupportModel(cfg transformer.Config, psize, keepTarget, keepDraft int, rng *rand.Rand) (*transformer.LMModel, []*pattern.Set) {
+	n := psize * psize
+	perm := rng.Perm(n)
+	pt := pattern.NewPattern(psize)
+	pd := pattern.NewPattern(psize)
+	for _, i := range perm[:keepTarget] {
+		pt.Bits[i] = 1
+	}
+	for _, i := range perm[:keepDraft] {
+		pd.Bits[i] = 1
+	}
+	setT := &pattern.Set{Sparsity: 1 - float64(keepTarget)/float64(n), Patterns: []pattern.Pattern{pt}}
+	setD := &pattern.Set{Sparsity: 1 - float64(keepDraft)/float64(n), Patterns: []pattern.Pattern{pd}}
+
+	model := transformer.NewLMModel(cfg, rng)
+	for _, l := range model.PrunableLinears() {
+		mask, _ := setD.Apply(l.W.Value)
+		l.W.Value.Hadamard(mask)
+	}
+	return model, []*pattern.Set{setT, setD}
+}
+
+// runSpecBench prints the self-speculative decoding benchmark and
+// enforces its floors.
+func runSpecBench(sp specBenchSpec) error {
+	if sp.k < 1 {
+		sp.k = 6
+	}
+	// Sized so the prunable projections dominate each decode step —
+	// the draft level's cheapness is proportional to pattern density
+	// only in the GEMMs, and a toy dim would let the unpruned
+	// attention/softmax overhead swallow the draft savings.
+	cfg := transformer.Config{
+		Vocab: 96, Dim: 256, Heads: 4, FFHidden: 512,
+		EncLayers: 1, DecLayers: 2, SeqLen: sp.prompt + sp.gen + sp.k + 2,
+	}
+	rng := rand.New(rand.NewSource(sp.seed))
+	prompts := make([][]int, sp.batch)
+	for i := range prompts {
+		prompts[i] = make([]int, sp.prompt)
+		for j := range prompts[i] {
+			prompts[i][j] = rng.Intn(cfg.Vocab)
+		}
+	}
+
+	var section *specSection
+	if jsonRep != nil {
+		section = &specSection{Prompt: sp.prompt, Gen: sp.gen, Batch: sp.batch}
+		jsonRep.Spec = section
+	}
+	verified := 0
+
+	// ---- arm 1: acceptance x K sweep at natural (divergent) levels ----
+	model := transformer.NewLMModel(cfg, rng)
+	ref := model.PrunableLinears()[0].W.Value
+	sets := []*pattern.Set{
+		pattern.GenerateSet(ref, 8, 0.5, 4, rng),
+		pattern.GenerateSet(ref, 8, 0.7, 4, rng),
+	}
+	eng, err := buildSpecDeployment(model, sets, []string{"l6", "l1"})
+	if err != nil {
+		return err
+	}
+	lm := specLM{eng: eng}
+	plainRef := plainGenerate(eng, prompts, sp.gen)
+	for i := range prompts {
+		dense, err := eng.DenseGenerate(0, prompts[i], sp.gen, -1)
+		if err != nil {
+			return err
+		}
+		if !equalStreams([][]int{plainRef[i]}, [][]int{dense}) {
+			return fmt.Errorf("spec bench: plain cached stream %d diverged from masked dense reference", i)
+		}
+	}
+	verified += len(prompts)
+
+	fmt.Printf("self-speculative decoding: prompt %d, gen %d, batch %d, dim %d, pattern format\n", sp.prompt, sp.gen, sp.batch, cfg.Dim)
+	fmt.Printf("draft level sparsity 0.70 vs target 0.50 (natural sets: divergent supports)\n\n")
+	fmt.Printf("%-4s %12s %12s %13s %13s %9s\n", "k", "acceptance", "tok/round", "spec_tok/s", "plain_tok/s", "speedup")
+	plainOp := func() { plainGenerate(eng, prompts, sp.gen) }
+	plainOp()
+	plainSec := timeKernelFn(plainOp, 100*time.Millisecond).Seconds()
+	genToks := float64(sp.batch * sp.gen)
+	for _, k := range []int{1, 2, 3, 4} {
+		opts := specOptions(eng, k, 1)
+		streams, st := spec.Generate(lm, lm, prompts, sp.gen, -1, opts)
+		if !equalStreams(streams, plainRef) {
+			return fmt.Errorf("spec bench: k=%d speculative streams diverged from plain cached loop", k)
+		}
+		verified += len(prompts)
+		specOp := func() { spec.Generate(lm, lm, prompts, sp.gen, -1, opts) }
+		specSec := timeKernelFn(specOp, 100*time.Millisecond).Seconds()
+		acc := float64(st.Accepted) / float64(st.Drafted)
+		perRound := float64(st.Committed) / float64(st.Rounds)
+		fmt.Printf("%-4d %11.0f%% %12.2f %13.0f %13.0f %8.2fx\n",
+			k, acc*100, perRound, genToks/specSec, genToks/plainSec, plainSec/specSec)
+		if section != nil {
+			section.Sweep = append(section.Sweep, specSweepRow{
+				K: k, Acceptance: acc, TokensPerRound: perRound,
+				SpecTokS: genToks / specSec, PlainTokS: genToks / plainSec,
+				Speedup: plainSec / specSec,
+			})
+		}
+	}
+	eng.Close()
+
+	// ---- arm 2: aligned-support floor (acceptance 1 by construction) ----
+	alignedCfg := cfg
+	alignedModel, alignedSets := alignedSupportModel(alignedCfg, 8, 32, 2, rng)
+	aeng, err := buildSpecDeployment(alignedModel, alignedSets, []string{"l6", "l1"})
+	if err != nil {
+		return err
+	}
+	alm := specLM{eng: aeng}
+	aPlain := plainGenerate(aeng, prompts, sp.gen)
+	for i := range prompts {
+		dense, err := aeng.DenseGenerate(0, prompts[i], sp.gen, -1)
+		if err != nil {
+			return err
+		}
+		if !equalStreams([][]int{aPlain[i]}, [][]int{dense}) {
+			return fmt.Errorf("spec bench: aligned plain stream %d diverged from masked dense reference", i)
+		}
+	}
+	aOpts := specOptions(aeng, sp.k, 1)
+	aStreams, aStats := spec.Generate(alm, alm, prompts, sp.gen, -1, aOpts)
+	if !equalStreams(aStreams, aPlain) {
+		return fmt.Errorf("spec bench: aligned speculative streams diverged from plain cached loop")
+	}
+	verified += 2 * len(prompts)
+	if aStats.Accepted != aStats.Drafted {
+		return fmt.Errorf("spec bench: aligned-support acceptance %d/%d, want 100%% by construction",
+			aStats.Accepted, aStats.Drafted)
+	}
+	aPlainOp := func() { plainGenerate(aeng, prompts, sp.gen) }
+	aSpecOp := func() { spec.Generate(alm, alm, prompts, sp.gen, -1, aOpts) }
+	aPlainOp()
+	aSpecOp()
+	// Interleaved best-of-3: the floor compares two separately timed
+	// arms, so a scheduler hiccup inside either window would skew the
+	// ratio — min-of-repeats on alternating measurements is robust to
+	// one-sided noise spikes.
+	var aPlainSec, aSpecSec float64
+	for rep := 0; rep < 3; rep++ {
+		p := timeKernelFn(aPlainOp, 100*time.Millisecond).Seconds()
+		s := timeKernelFn(aSpecOp, 100*time.Millisecond).Seconds()
+		if rep == 0 || p < aPlainSec {
+			aPlainSec = p
+		}
+		if rep == 0 || s < aSpecSec {
+			aSpecSec = s
+		}
+	}
+	speedup := aPlainSec / aSpecSec
+	perRound := float64(aStats.Committed) / float64(aStats.Rounds)
+	fmt.Printf("\naligned-support arm: draft keeps 2/64 slots inside the target's 32/64, weights zeroed outside\n")
+	fmt.Printf("the draft support — masked weights identical at both levels, so acceptance is provably 1\n")
+	fmt.Printf("%-4d %11.0f%% %12.2f %13.0f %13.0f %8.2fx\n",
+		sp.k, 100.0, perRound, genToks/aSpecSec, genToks/aPlainSec, speedup)
+	if section != nil {
+		section.Aligned = &specAlignedRow{
+			K: sp.k, Acceptance: 1, TokensPerRound: perRound,
+			SpecTokS: genToks / aSpecSec, PlainTokS: genToks / aPlainSec,
+			Speedup: speedup,
+		}
+	}
+	aeng.Close()
+	if speedup < specFloorTokS {
+		return fmt.Errorf("spec floor FAIL: aligned-support speedup %.2fx < %.2fx generated tok/s", speedup, specFloorTokS)
+	}
+	fmt.Printf("spec floor PASS: %.2fx >= %.2fx generated tok/s (aligned-support draft, acceptance 100%%)\n", speedup, specFloorTokS)
+
+	// ---- arm 3: shared-prompt radix prefix cache (deterministic rows) ----
+	prefixLen, suffixLen, requests, budget := 48, 4, 8, 8
+	sharedPrefix := make([]int, prefixLen)
+	for j := range sharedPrefix {
+		sharedPrefix[j] = rng.Intn(cfg.Vocab)
+	}
+	suffixes := make([][]int, requests)
+	for i := range suffixes {
+		suffixes[i] = make([]int, suffixLen)
+		for j := range suffixes[i] {
+			suffixes[i][j] = rng.Intn(cfg.Vocab)
+		}
+	}
+	runShared := func(cacheRows int) (*serve.Server, [][]int, error) {
+		m := transformer.NewLMModel(cfg, rand.New(rand.NewSource(sp.seed+7)))
+		r := m.PrunableLinears()[0].W.Value
+		g := rand.New(rand.NewSource(sp.seed + 8))
+		s := []*pattern.Set{pattern.GenerateSet(r, 8, 0.5, 4, g)}
+		e, err := buildSpecDeployment(m, s, []string{"l6"})
+		if err != nil {
+			return nil, nil, err
+		}
+		srv := serve.New(e, serve.Config{
+			Generate: true, MaxBatch: 4, QueueCap: 64, MaxGenTokens: budget,
+			PrefixCacheRows: cacheRows,
+		})
+		srv.Start()
+		var streams [][]int
+		for i := range suffixes {
+			prompt := append(append([]int(nil), sharedPrefix...), suffixes[i]...)
+			ch, err := srv.SubmitGenOpts(prompt, serve.GenOpts{SplitAt: prefixLen, MaxTokens: budget, EOS: -1})
+			if err != nil {
+				return nil, nil, err
+			}
+			resp := <-ch
+			if resp.Err != nil {
+				return nil, nil, resp.Err
+			}
+			streams = append(streams, resp.Tokens)
+		}
+		return srv, streams, nil
+	}
+	srvOff, offStreams, err := runShared(0)
+	if err != nil {
+		return err
+	}
+	srvOn, onStreams, err := runShared(-1)
+	if err != nil {
+		return err
+	}
+	if !equalStreams(onStreams, offStreams) {
+		return fmt.Errorf("spec bench: prefix-cached split streams diverged from uncached streams")
+	}
+	for i := range suffixes {
+		dense, err := srvOn.DenseGenReferenceSplit(0, sharedPrefix, suffixes[i], budget, -1)
+		if err != nil {
+			return err
+		}
+		if !equalStreams([][]int{onStreams[i]}, [][]int{dense}) {
+			return fmt.Errorf("spec bench: split response %d diverged from masked dense split reference", i)
+		}
+	}
+	verified += 2 * len(suffixes)
+	offRows := srvOff.Engine().DecodeStats()
+	onRows := srvOn.Engine().DecodeStats()
+	computedOff := offRows.PrefillRows + offRows.ChunkRows
+	computedOn := onRows.PrefillRows + onRows.ChunkRows
+	savings := float64(computedOff) / float64(computedOn)
+	radix, _ := srvOn.PrefixCacheStats()
+	fmt.Printf("\nshared-prompt arm: %d requests sharing a %d-token prefix (%d-token suffixes), radix prefix cache\n",
+		requests, prefixLen, suffixLen)
+	fmt.Printf("prefill rows computed: %d uncached vs %d cached (%d rows served from the radix tree)\n",
+		computedOff, computedOn, radix.HitRows)
+	if section != nil {
+		section.Prefix = &specPrefixRow{
+			Requests: requests, PrefixLen: prefixLen, SuffixLen: suffixLen,
+			RowsUncached: computedOff, RowsCached: computedOn,
+			HitRows: radix.HitRows, Savings: savings,
+		}
+		section.Metrics = srvOn.Metrics().Snapshot()
+	}
+	srvOff.Stop()
+	srvOn.Stop()
+	if savings < prefixFloorRows {
+		return fmt.Errorf("prefix floor FAIL: %.2fx < %.2fx prefill rows avoided", savings, prefixFloorRows)
+	}
+	fmt.Printf("prefix floor PASS: %.2fx >= %.2fx prefill rows avoided (deterministic counter ratio)\n", savings, prefixFloorRows)
+
+	fmt.Printf("bit-identity PASS: %d streams verified against the plain cached loop and masked dense references\n", verified)
+	return nil
+}

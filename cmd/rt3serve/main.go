@@ -122,6 +122,10 @@ func main() {
 		genTok   = flag.Int("gen-tokens", 16, "generation mode: max tokens per request (load mode samples budgets in [max/2, max])")
 		genPrmpt = flag.Int("gen-prompt", 10, "generation mode: max prompt length (load mode samples lengths in [max/2, max])")
 
+		specK       = flag.Int("spec-k", 0, "generation mode: self-speculative decoding with K draft tokens per round (0 disables; output is bit-identical either way)")
+		specDraft   = flag.Int("spec-draft-level", -1, "speculation: bundle level whose kernels draft (-1 picks the sparsest level)")
+		prefixCache = flag.Int("prefix-cache", 0, "generation mode: radix prefix cache capacity in KV rows for split prompts (0 disables, -1 unbounded)")
+
 		clusterN  = flag.Int("cluster", 0, "run N simulated nodes behind the session-affine cluster router (implies -gen)")
 		routerPol = flag.String("router", "hash", "cluster dispatch policy: hash (rendezvous on the session key), least-loaded, or p2c")
 		sessions  = flag.Int("sessions", 64, "cluster mode: distinct session keys in the generated load")
@@ -142,6 +146,13 @@ func main() {
 
 	if *chaosProf != "" && *clusterN == 0 {
 		log.Fatal("-chaos needs a fleet to fault: set -cluster N (N >= 2)")
+	}
+	if (*specK > 0 || *prefixCache != 0) && !*gen && *clusterN == 0 {
+		log.Fatal("-spec-k and -prefix-cache need incremental decoding: set -gen (or -cluster N)")
+	}
+	var specCfg *serve.SpecConfig
+	if *specK > 0 {
+		specCfg = &serve.SpecConfig{DraftLevel: *specDraft, K: *specK, Auto: true}
 	}
 	if *clusterN > 0 {
 		if *autotune {
@@ -188,6 +199,9 @@ func main() {
 			adminAddr: *adminAddr,
 			traceOut:  *traceOut,
 
+			spec:        specCfg,
+			prefixCache: *prefixCache,
+
 			vocab:         vocab,
 			chaos:         *chaosProf,
 			chaosWorkload: *chaosWork,
@@ -228,18 +242,20 @@ func main() {
 		}
 	}
 	srv := serve.New(eng, serve.Config{
-		MaxBatch:     *batch,
-		MaxDelay:     *maxDelay,
-		QueueCap:     4096,
-		Policy:       pol,
-		PolicyEvery:  10 * time.Millisecond,
-		Autotune:     atCfg,
-		TargetMS:     *targetMS,
-		SimDVFS:      *simDVFS,
-		BatteryJ:     *batteryJ,
-		Generate:     *gen,
-		MaxGenTokens: *genTok,
-		StepFloor:    *stepFloor,
+		MaxBatch:        *batch,
+		MaxDelay:        *maxDelay,
+		QueueCap:        4096,
+		Policy:          pol,
+		PolicyEvery:     10 * time.Millisecond,
+		Autotune:        atCfg,
+		TargetMS:        *targetMS,
+		SimDVFS:         *simDVFS,
+		BatteryJ:        *batteryJ,
+		Generate:        *gen,
+		MaxGenTokens:    *genTok,
+		StepFloor:       *stepFloor,
+		Spec:            specCfg,
+		PrefixCacheRows: *prefixCache,
 		OnAutotuneDecision: func(d serve.AutotuneDecision) {
 			sw := "-"
 			if d.Switched {
@@ -312,6 +328,7 @@ func main() {
 	fmt.Print(report)
 	printBatchStats(eng)
 	printDecodeStats(eng)
+	printSpecStats(srv)
 	printAutotune(srv, *atLog)
 	if report.Switches == 0 && !draining(drain) {
 		log.Fatal("demo expected at least one live level switch; raise -duration or lower -battery-j")
@@ -441,6 +458,22 @@ func printDecodeStats(eng *serve.Engine) {
 		st.Prefills, st.PrefillSeq, st.PrefillRows, st.Steps, st.Tokens)
 	fmt.Printf("  cache hits: %d prefix rows served from KV caches (%.1f rows/token not recomputed), %d states for %d sequences (free-list reuse)\n",
 		st.CachedRows, float64(st.CachedRows)/float64(st.Tokens), st.States, st.PrefillSeq)
+}
+
+// printSpecStats reports self-speculative decoding and radix prefix
+// cache accounting: each round's fused verify pass replaces up to K+1
+// sequential target steps, and every cached prefix row is a prefill row
+// the server did not recompute.
+func printSpecStats(srv *serve.Server) {
+	rounds, drafted, accepted, committed := srv.SpecStats()
+	if rounds > 0 {
+		fmt.Printf("speculative decoding: %d rounds, %d drafted, %d accepted (%.0f%% acceptance), %d committed (%.2f tokens/round)\n",
+			rounds, drafted, accepted, 100*float64(accepted)/float64(drafted), committed, float64(committed)/float64(rounds))
+	}
+	if st, ok := srv.PrefixCacheStats(); ok && st.Lookups > 0 {
+		fmt.Printf("prefix cache: %d lookups, %d hits, %d rows served, %d rows inserted, %d rows evicted (%d resident)\n",
+			st.Lookups, st.Hits, st.HitRows, st.InsertedRows, st.EvictedRows, st.UsedRows)
+	}
 }
 
 // printAutotune renders the closed-loop controller's run summary plus a
@@ -593,4 +626,5 @@ func smokeGen(srv *serve.Server, seed int64, maxPrompt, maxTokens int) {
 	n, modelMS, wallMS := srv.Recorder().Switches()
 	fmt.Printf("switches %d  modeled swap cost %.3f ms  kernel install %.3f ms\n", n, modelMS, wallMS)
 	printDecodeStats(eng)
+	printSpecStats(srv)
 }

@@ -1,0 +1,116 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"rt3/internal/cluster"
+	"rt3/internal/serve"
+)
+
+// specNodeCfg is the per-node serving config for speculating clusters:
+// every generation drafts at the sparsest level with K=3. StepFloor
+// paces rounds so a crash can land mid-stream deterministically enough.
+func specNodeCfg() serve.Config {
+	return serve.Config{
+		QueueCap:  64,
+		StepFloor: 2 * time.Millisecond,
+		Spec:      &serve.SpecConfig{DraftLevel: -1, K: 3, Auto: true},
+	}
+}
+
+// crashHomeMidGen submits one generation, lets it commit a partial
+// stream, crashes the node serving it, and returns the recovered
+// response plus the surviving node's index.
+func crashHomeMidGen(t *testing.T, r *cluster.Router, prompt []int, budget int) (serve.GenResponse, int) {
+	t.Helper()
+	ch, err := r.SubmitGen(11, prompt, budget, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	var home int
+	for _, nd := range r.Nodes() {
+		if nd.Dispatches() > 0 {
+			home = nd.ID
+		}
+	}
+	if err := r.Crash(home); err != nil {
+		t.Fatal(err)
+	}
+	resp := <-ch
+	if resp.Err != nil {
+		t.Fatalf("failover did not recover: %v", resp.Err)
+	}
+	if st := r.Stats(); st.Failovers < 1 {
+		t.Fatalf("failovers %d, want >= 1 (crash at 10ms into a paced generation)", st.Failovers)
+	}
+	return resp, 1 - home
+}
+
+// TestFailoverBitIdenticalSpecOn kills a speculating node mid-stream:
+// the committed prefix (produced by draft/verify rounds) resumes on the
+// surviving speculating node, and the final stream must still match the
+// dense reference token-for-token — speculation must not leak into the
+// failover contract.
+func TestFailoverBitIdenticalSpecOn(t *testing.T) {
+	nodes := []*cluster.Node{
+		cluster.NewNode(0, newLMServer(t, specNodeCfg())),
+		cluster.NewNode(1, newLMServer(t, specNodeCfg())),
+	}
+	r := cluster.New(nodes, cluster.Config{Seed: 3})
+	r.Start()
+	t.Cleanup(r.Stop)
+
+	prompt := []int{2, 7, 1, 8, 2, 8}
+	const budget = 48
+	resp, survivor := crashHomeMidGen(t, r, prompt, budget)
+	if len(resp.Tokens) != budget {
+		t.Fatalf("recovered stream has %d tokens, want %d", len(resp.Tokens), budget)
+	}
+	ref, err := nodes[survivor].Server().DenseGenReference(resp.Level, prompt, budget, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if ref[i] != resp.Tokens[i] {
+			t.Fatalf("token %d: served %d, dense reference %d — speculative failover diverged", i, resp.Tokens[i], ref[i])
+		}
+	}
+	// the surviving node really speculated the resumed tail
+	if rounds, _, _, _ := nodes[survivor].Server().SpecStats(); rounds == 0 {
+		t.Fatal("survivor reports zero speculative rounds for the resumed stream")
+	}
+}
+
+// TestFailoverSpecPlainHeterogeneous crashes a node in a mixed cluster
+// — one speculating node, one plain — so the stream crosses the
+// speculation boundary in whichever direction routing picked. The
+// committed-prefix resume contract is level- and speculation-agnostic,
+// so the recovered stream must still be dense-identical.
+func TestFailoverSpecPlainHeterogeneous(t *testing.T) {
+	plainCfg := serve.Config{QueueCap: 64, StepFloor: 2 * time.Millisecond}
+	nodes := []*cluster.Node{
+		cluster.NewNode(0, newLMServer(t, specNodeCfg())),
+		cluster.NewNode(1, newLMServer(t, plainCfg)),
+	}
+	r := cluster.New(nodes, cluster.Config{Seed: 5})
+	r.Start()
+	t.Cleanup(r.Stop)
+
+	prompt := []int{3, 1, 4, 1, 5}
+	const budget = 48
+	resp, survivor := crashHomeMidGen(t, r, prompt, budget)
+	if len(resp.Tokens) != budget {
+		t.Fatalf("recovered stream has %d tokens, want %d", len(resp.Tokens), budget)
+	}
+	ref, err := nodes[survivor].Server().DenseGenReference(resp.Level, prompt, budget, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if ref[i] != resp.Tokens[i] {
+			t.Fatalf("token %d: served %d, dense reference %d — spec/plain failover diverged", i, resp.Tokens[i], ref[i])
+		}
+	}
+}

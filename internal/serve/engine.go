@@ -116,6 +116,8 @@ type Engine struct {
 	decSteps       atomic.Int64 // DecodeBatch calls (fused decode steps)
 	decTokens      atomic.Int64 // tokens decoded through DecodeBatch
 	decCachedRows  atomic.Int64 // cache hits: K/V rows read from caches instead of recomputed
+	decChunks      atomic.Int64 // DecodeChunkBatch calls (fused multi-row verify/teacher-force passes)
+	decChunkRows   atomic.Int64 // rows executed through DecodeChunkBatch
 }
 
 // DecodeModel is the incremental-decoding surface of a Model: prompt
@@ -126,6 +128,7 @@ type DecodeModel interface {
 	NewDecodeState() *transformer.DecodeState
 	Prefill(states []*transformer.DecodeState, prompts [][]int) []*mat.Matrix
 	DecodeStep(states []*transformer.DecodeState, tokens []int) *mat.Matrix
+	DecodeChunk(states []*transformer.DecodeState, chunks [][]int) []*mat.Matrix
 }
 
 // DecodeStats reports cumulative incremental-decoding execution. Every
@@ -140,6 +143,8 @@ type DecodeStats struct {
 	Steps       int64 // fused decode steps
 	Tokens      int64 // tokens decoded
 	CachedRows  int64 // prefix rows served from cache, per sequence per step
+	Chunks      int64 // fused multi-row chunk passes (verify / suffix teacher-force)
+	ChunkRows   int64 // rows executed through chunk passes
 }
 
 // BatchStats reports cumulative batched execution: fused forward passes,
@@ -429,6 +434,95 @@ func (e *Engine) DecodeBatch(replica int, states []*transformer.DecodeState, tok
 	return logits, nil
 }
 
+// DecodeChunkBatch teacher-forces multiple tokens per sequence through
+// one fused multi-row decode pass on the given replica: chunk row j of
+// sequence s appends its K/V row and attends the cache through that
+// row, so the returned per-sequence logits are bit-identical to feeding
+// the chunk through sequential DecodeBatch steps. This is the
+// speculative verifier (all k+1 positions in one pass) and the split-
+// prefill suffix path (teacher-forcing an unshared suffix against a
+// frozen prefix memory).
+func (e *Engine) DecodeChunkBatch(replica int, states []*transformer.DecodeState, chunks [][]int) ([]*mat.Matrix, error) {
+	dm, err := e.decodeModel(replica)
+	if err != nil {
+		return nil, err
+	}
+	rows := 0
+	for _, c := range chunks {
+		rows += len(c)
+	}
+	cached := int64(0)
+	for _, st := range states {
+		cached += int64(st.Pos())
+	}
+	outs := dm.DecodeChunk(states, chunks)
+	e.decChunks.Add(1)
+	e.decChunkRows.Add(int64(rows))
+	e.decCachedRows.Add(cached)
+	return outs, nil
+}
+
+// InstallReplicaLevel points one replica's prunable linears at the
+// packed kernels of the given level without touching the engine's
+// active level — the draft bracket of self-speculative decoding: the
+// worker that owns the replica installs the draft level's kernels,
+// drafts, and restores Level()'s kernels, all under the execution read
+// lock (so no live switch can interleave). Other replicas are
+// unaffected; callers must own the replica.
+func (e *Engine) InstallReplicaLevel(replica, level int) error {
+	if level < 0 || level >= e.NumLevels() {
+		return fmt.Errorf("serve: level %d out of range %d", level, e.NumLevels())
+	}
+	for j, l := range e.replicas[replica].PrunableLinears() {
+		l.SetKernel(e.kernels[replica][level][j])
+	}
+	return nil
+}
+
+// DenseGenerateSplit greedily decodes the masked dense reference for a
+// split request at level idx: the frozen memory is the encoder over
+// prefix alone, the suffix is teacher-forced through the decoder, and
+// generation continues greedily — the ground truth a served split
+// (prefix-cached or not, speculative or not) generation must match
+// token-for-token. Restores dense weights and packed kernels before
+// returning; callers must hold the engine quiesced.
+func (e *Engine) DenseGenerateSplit(idx int, prefix, suffix []int, maxTokens, eos int) ([]int, error) {
+	if idx < 0 || idx >= e.NumLevels() {
+		return nil, fmt.Errorf("serve: level %d out of range %d", idx, e.NumLevels())
+	}
+	if len(prefix) == 0 || len(suffix) == 0 || maxTokens <= 0 {
+		return nil, fmt.Errorf("serve: DenseGenerateSplit needs non-empty prefix and suffix and a positive token budget")
+	}
+	dm, err := e.decodeModel(0)
+	if err != nil {
+		return nil, err
+	}
+	lins := dm.PrunableLinears()
+	for j, l := range lins {
+		mask, _ := e.bundle.Sets[idx].Apply(e.weights[j])
+		masked := e.weights[j].Clone()
+		masked.Hadamard(mask)
+		l.W.Value.CopyFrom(masked)
+		l.SetKernel(nil)
+	}
+	st := dm.NewDecodeState()
+	st.Reserve(len(prefix) + len(suffix) + maxTokens)
+	dm.Prefill([]*transformer.DecodeState{st}, [][]int{prefix})
+	outs := dm.DecodeChunk([]*transformer.DecodeState{st}, [][]int{suffix})
+	out := outs[0]
+	tokens := []int{out.ArgmaxRow(out.Rows - 1)}
+	for tokens[len(tokens)-1] != eos && len(tokens) < maxTokens {
+		logits := dm.DecodeStep([]*transformer.DecodeState{st}, []int{tokens[len(tokens)-1]})
+		tokens = append(tokens, logits.ArgmaxRow(0))
+	}
+	cur := e.recon.Current()
+	for j, l := range lins {
+		l.W.Value.CopyFrom(e.weights[j])
+		l.SetKernel(e.kernels[0][cur][j])
+	}
+	return tokens, nil
+}
+
 // RegisterMetrics exposes the engine's hot-path execution counters on
 // an obs registry as read-callbacks: the atomics the workers bump stay
 // plain atomics, and the registry reads them at gather time. The decode
@@ -454,6 +548,15 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("rt3_decode_prefills_total",
 		"Fused prompt prefill passes.",
 		func() float64 { return float64(e.decPrefills.Load()) })
+	reg.CounterFunc("rt3_decode_prefill_rows_total",
+		"Packed prompt rows executed through prefill passes.",
+		func() float64 { return float64(e.decPrefillRows.Load()) })
+	reg.CounterFunc("rt3_decode_chunks_total",
+		"Fused multi-row chunk passes (speculative verify / split-prefill suffix).",
+		func() float64 { return float64(e.decChunks.Load()) })
+	reg.CounterFunc("rt3_decode_chunk_rows_total",
+		"Rows executed through fused chunk passes.",
+		func() float64 { return float64(e.decChunkRows.Load()) })
 	reg.CounterFunc("rt3_decode_cached_rows_total",
 		"K/V rows served from caches instead of recomputed.",
 		func() float64 { return float64(e.decCachedRows.Load()) })
@@ -475,6 +578,8 @@ func (e *Engine) DecodeStats() DecodeStats {
 		Steps:       e.decSteps.Load(),
 		Tokens:      e.decTokens.Load(),
 		CachedRows:  e.decCachedRows.Load(),
+		Chunks:      e.decChunks.Load(),
+		ChunkRows:   e.decChunkRows.Load(),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rt3/internal/obs"
+	"rt3/internal/spec"
 	"rt3/internal/transformer"
 )
 
@@ -35,15 +36,29 @@ type GenResponse struct {
 	// admitted in it). DecodeMS accumulates the fused decode steps this
 	// sequence was active in. TotalMS is admission to completion.
 	QueueMS, PrefillMS, DecodeMS, TotalMS float64
+	// SpecRounds/SpecDrafted/SpecAccepted account this request's ride on
+	// self-speculative decoding: draft/verify rounds it participated in,
+	// draft tokens proposed for it, and how many verification accepted.
+	// All zero when the request did not speculate — the output tokens are
+	// identical either way.
+	SpecRounds, SpecDrafted, SpecAccepted int
+	// CachedRows is the number of prefill K/V rows served from the radix
+	// prefix cache instead of being recomputed (split requests only).
+	CachedRows int
 }
 
 // genReq is one queued generation request. A non-empty prefix marks a
 // resumed generation: tokens already committed by a previous attempt
 // (e.g. on a node that crashed) that the decode worker replays through
-// the KV cache before generating new ones.
+// the KV cache before generating new ones. memLen > 0 marks a split
+// request (prompt[:memLen] is the frozen-memory prefix, eligible for
+// the radix prefix cache); spec opts the request into self-speculative
+// decoding.
 type genReq struct {
 	prompt    []int
 	prefix    []int
+	memLen    int
+	spec      bool
 	maxTokens int
 	eos       int
 	enq       time.Time
@@ -58,7 +73,7 @@ type genReq struct {
 // ErrEmptyRequest for an empty prompt, ErrQueueFull at capacity, and
 // ErrStopped after Stop.
 func (s *Server) SubmitGen(prompt []int, maxTokens, eos int) (<-chan GenResponse, error) {
-	return s.SubmitGenResume(prompt, nil, maxTokens, eos)
+	return s.SubmitGenOpts(prompt, GenOpts{MaxTokens: maxTokens, EOS: eos})
 }
 
 // SubmitGenResume admits a generation that resumes from an already
@@ -76,41 +91,7 @@ func (s *Server) SubmitGen(prompt []int, maxTokens, eos int) (<-chan GenResponse
 // completes immediately without touching a worker. A nil prefix is
 // exactly SubmitGen.
 func (s *Server) SubmitGenResume(prompt, prefix []int, maxTokens, eos int) (<-chan GenResponse, error) {
-	if !s.cfg.Generate {
-		return nil, ErrNotGenerating
-	}
-	if len(prompt) == 0 {
-		return nil, ErrEmptyRequest
-	}
-	if maxTokens <= 0 {
-		maxTokens = s.cfg.MaxGenTokens
-	}
-	if eos < 0 {
-		eos = -1
-	}
-	s.stateMu.RLock()
-	defer s.stateMu.RUnlock()
-	if s.stopped {
-		return nil, ErrStopped
-	}
-	if n := len(prefix); n > 0 && (n >= maxTokens || prefix[n-1] == eos) {
-		resp := make(chan GenResponse, 1)
-		resp <- GenResponse{
-			Tokens: append([]int(nil), prefix...),
-			Level:  s.eng.Level(),
-		}
-		return resp, nil
-	}
-	r := &genReq{prompt: prompt, prefix: prefix, maxTokens: maxTokens, eos: eos, enq: time.Now(), resp: make(chan GenResponse, 1)}
-	r.tr = s.tracer.StartAt("generate", r.enq)
-	select {
-	case s.genIn <- r:
-		return r.resp, nil
-	default:
-		s.tracer.Abort(r.tr)
-		s.rec.ObserveDrop()
-		return nil, ErrQueueFull
-	}
+	return s.SubmitGenOpts(prompt, GenOpts{Prefix: prefix, MaxTokens: maxTokens, EOS: eos})
 }
 
 // genSlot is one active sequence in a decode worker's step loop. feed
@@ -119,14 +100,23 @@ func (s *Server) SubmitGenResume(prompt, prefix []int, maxTokens, eos int) (<-ch
 // logits are discarded — the tokens are already committed) and sticks to
 // the last token once caught up, when every step appends its argmax.
 type genSlot struct {
-	req       *genReq
-	st        *transformer.DecodeState
-	tokens    []int
-	feed      int
-	steps     int
-	queueMS   float64
-	prefillMS float64
-	decodeMS  float64
+	req    *genReq
+	st     *transformer.DecodeState
+	tokens []int
+	feed   int
+	steps  int
+	// draft is the draft-level KV state of a speculating slot (recycled
+	// through the same free-list on eviction); seq is its speculation
+	// bookkeeping. Both nil for plain slots. A speculating slot only
+	// enters draft/verify rounds once caught up (feed == len(tokens)-1):
+	// a resumed prefix replays through plain fused steps first, and the
+	// round's own catch-up teacher-forces the draft state.
+	draft      *transformer.DecodeState
+	seq        *spec.Seq
+	cachedRows int
+	queueMS    float64
+	prefillMS  float64
+	decodeMS   float64
 }
 
 // done reports whether the slot's latest token finished the sequence.
@@ -152,12 +142,12 @@ func (s *Server) decodeWorker(replica int) {
 	defer s.wg.Done()
 	var (
 		slots    []*genSlot
+		plain    []*genSlot
+		specs    []*genSlot
 		finished []*genSlot
 		free     []*transformer.DecodeState
 		admit    []*genReq
-		admitOK  []*genReq
 		states   []*transformer.DecodeState
-		prompts  [][]int
 		tokens   []int
 		cls      []*request
 		clsIDs   [][]int
@@ -260,55 +250,54 @@ func (s *Server) decodeWorker(replica int) {
 			s.classifyBatch(replica, level, cls, &clsIDs)
 		}
 		if len(admit) > 0 {
-			admitOK = admitOK[:0]
-			states = states[:0]
-			prompts = prompts[:0]
-			for _, r := range admit {
-				st, err := s.takeState(replica, &free)
-				if err != nil {
-					s.tracer.Abort(r.tr)
-					r.resp <- GenResponse{Err: err}
-					continue
+			slots = append(slots, s.admitGen(replica, level, admit, &free, &finished)...)
+		}
+		if len(slots) > 0 {
+			// partition: speculating slots that are caught up take a
+			// draft/verify round; everything else (plain slots, and
+			// speculating slots still replaying a resumed prefix) takes
+			// one plain fused step
+			plain, specs = plain[:0], specs[:0]
+			for _, sl := range slots {
+				if sl.seq != nil && sl.feed == len(sl.tokens)-1 {
+					specs = append(specs, sl)
+				} else {
+					plain = append(plain, sl)
 				}
-				st.Reserve(len(r.prompt) + r.maxTokens)
-				admitOK = append(admitOK, r)
-				states = append(states, st)
-				prompts = append(prompts, r.prompt)
 			}
-			if len(states) > 0 {
-				rows := 0
-				for _, p := range prompts {
-					rows += len(p)
+			slots = slots[:0]
+			if len(plain) > 0 {
+				tokens = tokens[:0]
+				states = states[:0]
+				for _, sl := range plain {
+					tokens = append(tokens, sl.tokens[sl.feed])
+					states = append(states, sl.st)
 				}
-				dispatch := time.Now()
-				outs, err := s.eng.PrefillBatch(replica, states, prompts)
-				s.simDVFSDelay(level, dispatch)
-				prefillDur := time.Since(dispatch)
-				prefillMS := float64(prefillDur.Microseconds()) / 1000
-				s.rec.ObserveBatch(len(states), s.cfg.MaxBatch)
-				for i, r := range admitOK {
+				t0 := time.Now()
+				logits, err := s.eng.DecodeBatch(replica, states, tokens)
+				s.simDVFSDelay(level, t0)
+				stepDur := time.Since(t0)
+				stepMS := float64(stepDur.Microseconds()) / 1000
+				for i, sl := range plain {
+					if s.tracer.SampleStep(sl.steps) {
+						sl.req.tr.Add("decode_step", t0, stepDur,
+							"step", float64(sl.steps), "batch", float64(len(plain)))
+					}
+					sl.steps++
+					sl.decodeMS += stepMS
 					if err != nil {
-						free = append(free, states[i])
-						s.tracer.Abort(r.tr)
-						r.resp <- GenResponse{Err: err}
+						free = append(free, sl.st)
+						if sl.draft != nil {
+							free = append(free, sl.draft)
+						}
+						s.tracer.Abort(sl.req.tr)
+						sl.req.resp <- GenResponse{Err: err}
 						continue
 					}
-					r.tr.Add("queue", r.enq, dispatch.Sub(r.enq), "batch", float64(len(states)), "", 0)
-					r.tr.Add("prefill", dispatch, prefillDur, "rows", float64(rows), "level", float64(level))
-					sl := &genSlot{
-						req: r, st: states[i],
-						queueMS:   float64(dispatch.Sub(r.enq).Microseconds()) / 1000,
-						prefillMS: prefillMS,
+					if sl.feed == len(sl.tokens)-1 {
+						sl.tokens = append(sl.tokens, logits.ArgmaxRow(i))
 					}
-					if len(r.prefix) > 0 {
-						// resumed generation: the prefix tokens are already
-						// committed output; the step loop replays them through
-						// the cache before appending new ones
-						sl.tokens = append(sl.tokens, r.prefix...)
-					} else {
-						out := outs[i]
-						sl.tokens = append(sl.tokens, out.ArgmaxRow(out.Rows-1))
-					}
+					sl.feed++
 					if sl.done() {
 						finished = append(finished, sl)
 					} else {
@@ -316,50 +305,17 @@ func (s *Server) decodeWorker(replica int) {
 					}
 				}
 			}
-		}
-		if len(slots) > 0 {
-			tokens = tokens[:0]
-			states = states[:0]
-			for _, sl := range slots {
-				tokens = append(tokens, sl.tokens[sl.feed])
-				states = append(states, sl.st)
+			if len(specs) > 0 {
+				slots = append(slots, s.stepSpec(replica, level, specs, &finished)...)
 			}
-			t0 := time.Now()
-			logits, err := s.eng.DecodeBatch(replica, states, tokens)
-			s.simDVFSDelay(level, t0)
-			stepDur := time.Since(t0)
-			stepMS := float64(stepDur.Microseconds()) / 1000
-			n := 0
-			for i, sl := range slots {
-				if s.tracer.SampleStep(sl.steps) {
-					sl.req.tr.Add("decode_step", t0, stepDur,
-						"step", float64(sl.steps), "batch", float64(len(slots)))
-				}
-				sl.steps++
-				sl.decodeMS += stepMS
-				if err != nil {
-					free = append(free, sl.st)
-					s.tracer.Abort(sl.req.tr)
-					sl.req.resp <- GenResponse{Err: err}
-					continue
-				}
-				if sl.feed == len(sl.tokens)-1 {
-					sl.tokens = append(sl.tokens, logits.ArgmaxRow(i))
-				}
-				sl.feed++
-				if sl.done() {
-					finished = append(finished, sl)
-				} else {
-					slots[n] = sl
-					n++
-				}
-			}
-			slots = slots[:n]
 		}
 		s.execMu.RUnlock()
 
 		for _, sl := range finished {
 			free = append(free, sl.st)
+			if sl.draft != nil {
+				free = append(free, sl.draft)
+			}
 			s.finishGen(sl, level)
 		}
 	}
@@ -379,15 +335,22 @@ func (s *Server) takeState(replica int, free *[]*transformer.DecodeState) (*tran
 // finishGen delivers one completed generation, records its latency
 // split, and charges the modeled energy of its generated tokens.
 func (s *Server) finishGen(sl *genSlot, level int) {
-	sl.req.resp <- GenResponse{
-		Tokens:    sl.tokens,
-		Level:     level,
-		Steps:     sl.steps,
-		QueueMS:   sl.queueMS,
-		PrefillMS: sl.prefillMS,
-		DecodeMS:  sl.decodeMS,
-		TotalMS:   float64(time.Since(sl.req.enq).Microseconds()) / 1000,
+	resp := GenResponse{
+		Tokens:     sl.tokens,
+		Level:      level,
+		Steps:      sl.steps,
+		CachedRows: sl.cachedRows,
+		QueueMS:    sl.queueMS,
+		PrefillMS:  sl.prefillMS,
+		DecodeMS:   sl.decodeMS,
+		TotalMS:    float64(time.Since(sl.req.enq).Microseconds()) / 1000,
 	}
+	if sl.seq != nil {
+		resp.SpecRounds = sl.seq.Rounds
+		resp.SpecDrafted = sl.seq.Drafted
+		resp.SpecAccepted = sl.seq.Accepted
+	}
+	sl.req.resp <- resp
 	sl.req.tr.Add("finish", time.Now(), 0,
 		"tokens", float64(len(sl.tokens)), "steps", float64(sl.steps))
 	s.tracer.Finish(sl.req.tr)

@@ -12,6 +12,7 @@ import (
 	"rt3/internal/kernel"
 	"rt3/internal/mat"
 	"rt3/internal/obs"
+	"rt3/internal/spec"
 )
 
 // Admission and lifecycle errors.
@@ -21,6 +22,8 @@ var (
 	ErrCrashed       = errors.New("serve: server crashed")
 	ErrEmptyRequest  = errors.New("serve: empty token sequence")
 	ErrNotGenerating = errors.New("serve: SubmitGen requires Config.Generate")
+	ErrNoSpec        = errors.New("serve: GenOpts.Speculate requires Config.Spec")
+	ErrBadSplit      = errors.New("serve: GenOpts.SplitAt must cut the prompt into non-empty prefix and suffix")
 )
 
 // Config tunes the server. Zero values pick the documented defaults.
@@ -49,6 +52,19 @@ type Config struct {
 	// MaxGenTokens caps generated tokens per request when the request
 	// does not set its own budget (default 32).
 	MaxGenTokens int
+
+	// Spec enables self-speculative decoding for generation requests
+	// (requires Generate): the decode loop drafts SpecConfig.K tokens per
+	// round at a cheap high-sparsity level and verifies them in one fused
+	// target-level chunk — bit-identical output, fewer target passes.
+	// Requests opt in per request (GenOpts.Speculate) unless
+	// SpecConfig.Auto applies it to all of them.
+	Spec *SpecConfig
+	// PrefixCacheRows enables the cross-request radix prefix KV cache for
+	// split generation requests (GenOpts.SplitAt): > 0 bounds the cached
+	// K/V rows (LRU eviction), < 0 is unbounded, 0 disables the cache
+	// (split requests still compute prefix+suffix, just without sharing).
+	PrefixCacheRows int
 
 	// Policy, when set, is consulted every PolicyEvery (default 20ms)
 	// with the current Status; a differing decision triggers a live
@@ -190,6 +206,13 @@ type Server struct {
 	tracer *obs.Tracer // nil when Config.Trace.Disabled
 	tuner  *Autotuner  // non-nil when Config.Autotune is set
 
+	// prefixCache is the cross-request radix prefix KV cache, shared by
+	// every decode worker (nil unless Config.PrefixCacheRows != 0).
+	prefixCache *spec.Radix
+	// speculation accounting across all workers (atomic; exposed as
+	// rt3_spec_* when Config.Spec is set).
+	specRounds, specDrafted, specAccepted, specCommitted atomic.Int64
+
 	batMu   sync.Mutex
 	battery *dvfs.Battery // guarded by batMu
 
@@ -225,6 +248,16 @@ func New(eng *Engine, cfg Config) *Server {
 	if cfg.Generate && !eng.SupportsDecode() {
 		panic("serve: Config.Generate requires model replicas implementing DecodeModel (e.g. transformer.LMModel)")
 	}
+	if cfg.Spec != nil {
+		if !cfg.Generate {
+			panic("serve: Config.Spec requires Config.Generate")
+		}
+		sc := cfg.Spec.withDefaults(eng.NumLevels())
+		if sc.DraftLevel >= eng.NumLevels() {
+			panic(fmt.Sprintf("serve: Spec.DraftLevel %d out of range %d", sc.DraftLevel, eng.NumLevels()))
+		}
+		cfg.Spec = &sc
+	}
 	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:     cfg,
@@ -240,6 +273,28 @@ func New(eng *Engine, cfg Config) *Server {
 	}
 	if cfg.BatteryJ > 0 {
 		s.battery = dvfs.NewBattery(cfg.BatteryJ)
+	}
+	if cfg.PrefixCacheRows != 0 {
+		capRows := cfg.PrefixCacheRows
+		if capRows < 0 {
+			capRows = 0 // spec.NewRadix: <= 0 is unbounded
+		}
+		s.prefixCache = spec.NewRadix(capRows)
+		s.prefixCache.RegisterMetrics(reg)
+	}
+	if cfg.Spec != nil {
+		reg.CounterFunc("rt3_spec_rounds_total",
+			"Speculative draft/verify rounds.",
+			func() float64 { return float64(s.specRounds.Load()) })
+		reg.CounterFunc("rt3_spec_drafted_total",
+			"Draft tokens proposed by the draft level.",
+			func() float64 { return float64(s.specDrafted.Load()) })
+		reg.CounterFunc("rt3_spec_accepted_total",
+			"Draft tokens accepted by target-level verification.",
+			func() float64 { return float64(s.specAccepted.Load()) })
+		reg.CounterFunc("rt3_spec_committed_total",
+			"Tokens committed by speculative rounds (accepted + corrections/bonuses).",
+			func() float64 { return float64(s.specCommitted.Load()) })
 	}
 	if cfg.Autotune != nil {
 		tuner, err := NewAutotuner(eng.Levels(), cfg.Power, cfg.CyclesPerInference, *cfg.Autotune)

@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"time"
+
+	"rt3/internal/mat"
+	"rt3/internal/spec"
+	"rt3/internal/transformer"
+)
+
+// SpecConfig tunes self-speculative decoding: the serving-side use of
+// the paper's multi-level weight set where one replica drafts ahead of
+// itself at a cheap high-sparsity level and verifies at the active
+// level in one fused chunk. Output is bit-identical to plain decoding
+// by construction (see internal/spec); the draft level only changes
+// how many target-level passes each round replaces.
+type SpecConfig struct {
+	// DraftLevel indexes the bundle level whose kernels draft (< 0: the
+	// last level — by the fastest-first convention the sparsest, cheapest
+	// one). Drafting at the active level itself is legal but pointless.
+	DraftLevel int
+	// K is the draft length per round (<= 0: 3). Each round then runs K
+	// cheap draft steps plus one fused K+1-row target verification in
+	// place of up to K+1 sequential target steps.
+	K int
+	// Auto applies speculation to every generation request; otherwise
+	// only requests submitted with GenOpts.Speculate ride it.
+	Auto bool
+}
+
+func (c SpecConfig) withDefaults(numLevels int) SpecConfig {
+	if c.DraftLevel < 0 {
+		c.DraftLevel = numLevels - 1
+	}
+	if c.K <= 0 {
+		c.K = 3
+	}
+	return c
+}
+
+// GenOpts are per-request generation options beyond SubmitGen's.
+type GenOpts struct {
+	// Prefix resumes from already-committed tokens (see SubmitGenResume).
+	Prefix []int
+	// SplitAt, when > 0, declares prompt[:SplitAt] a shared prefix (e.g.
+	// a system prompt): the frozen cross-attention memory is the encoder
+	// over the prefix alone and the suffix is teacher-forced through the
+	// decoder — the split semantics under which decoder K/V rows are
+	// prefix-stable and shareable through the radix prefix cache. Split
+	// and whole-prompt requests condition on different memories, so their
+	// references are DenseGenReferenceSplit and DenseGenReference
+	// respectively. 0 keeps whole-prompt semantics.
+	SplitAt int
+	// Speculate opts this request into self-speculative decoding
+	// (requires Config.Spec; implied by SpecConfig.Auto).
+	Speculate bool
+	// MaxTokens <= 0 picks Config.MaxGenTokens; EOS < 0 disables EOS.
+	MaxTokens, EOS int
+}
+
+// SubmitGenOpts admits one generation request with per-request options
+// — prefix-cache-eligible split prompts, speculation opt-in, resume —
+// and returns its response channel (buffered; exactly one send). See
+// SubmitGen for the base semantics and error cases.
+func (s *Server) SubmitGenOpts(prompt []int, o GenOpts) (<-chan GenResponse, error) {
+	if !s.cfg.Generate {
+		return nil, ErrNotGenerating
+	}
+	if len(prompt) == 0 {
+		return nil, ErrEmptyRequest
+	}
+	if o.SplitAt < 0 || o.SplitAt >= len(prompt) {
+		if o.SplitAt != 0 {
+			return nil, ErrBadSplit
+		}
+	}
+	if o.Speculate && s.cfg.Spec == nil {
+		return nil, ErrNoSpec
+	}
+	maxTokens := o.MaxTokens
+	if maxTokens <= 0 {
+		maxTokens = s.cfg.MaxGenTokens
+	}
+	eos := o.EOS
+	if eos < 0 {
+		eos = -1
+	}
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if s.stopped {
+		return nil, ErrStopped
+	}
+	if n := len(o.Prefix); n > 0 && (n >= maxTokens || o.Prefix[n-1] == eos) {
+		resp := make(chan GenResponse, 1)
+		resp <- GenResponse{
+			Tokens: append([]int(nil), o.Prefix...),
+			Level:  s.eng.Level(),
+		}
+		return resp, nil
+	}
+	r := &genReq{
+		prompt:    prompt,
+		prefix:    o.Prefix,
+		memLen:    o.SplitAt,
+		spec:      s.cfg.Spec != nil && (o.Speculate || s.cfg.Spec.Auto),
+		maxTokens: maxTokens,
+		eos:       eos,
+		enq:       time.Now(),
+		resp:      make(chan GenResponse, 1),
+	}
+	r.tr = s.tracer.StartAt("generate", r.enq)
+	select {
+	case s.genIn <- r:
+		return r.resp, nil
+	default:
+		s.tracer.Abort(r.tr)
+		s.rec.ObserveDrop()
+		return nil, ErrQueueFull
+	}
+}
+
+// specExec adapts one worker's replica to the spec.Model surface,
+// routing through the engine so kernels, counters, and cache
+// accounting all see speculative traffic. Engine errors are
+// impossible here — Generate mode validated the decode surface at
+// construction — so they panic instead of being threaded through the
+// speculation loop.
+type specExec struct {
+	s       *Server
+	replica int
+}
+
+func (x specExec) DecodeStep(states []*transformer.DecodeState, tokens []int) *mat.Matrix {
+	logits, err := x.s.eng.DecodeBatch(x.replica, states, tokens)
+	if err != nil {
+		panic("serve: speculative decode step on non-decoding replica: " + err.Error())
+	}
+	return logits
+}
+
+func (x specExec) DecodeChunk(states []*transformer.DecodeState, chunks [][]int) []*mat.Matrix {
+	outs, err := x.s.eng.DecodeChunkBatch(x.replica, states, chunks)
+	if err != nil {
+		panic("serve: speculative verify chunk on non-decoding replica: " + err.Error())
+	}
+	return outs
+}
+
+// specOptions builds the per-round options for a worker: the draft
+// bracket installs the draft level's kernels on the worker's own
+// replica and restores the active level's afterwards — legal under the
+// execution read lock the worker already holds (a live switch takes
+// the write lock, so it can never interleave with a round).
+func (s *Server) specOptions(replica, level int) spec.Options {
+	o := spec.Options{K: s.cfg.Spec.K}
+	if draft := s.cfg.Spec.DraftLevel; draft != level {
+		o.BeginDraft = func() { _ = s.eng.InstallReplicaLevel(replica, draft) }
+		o.EndDraft = func() { _ = s.eng.InstallReplicaLevel(replica, level) }
+	}
+	return o
+}
+
+// admitGen admits a batch of generation requests into fresh decode
+// slots: one fused prefill over whole prompts (classic requests) and
+// uncached prefixes (split requests), one fused chunk teacher-forcing
+// every split request's uncovered suffix, prefix-cache lookups and
+// inserts at the active level, and — for speculating requests — draft
+// states prefilled the same way at the draft level inside the kernel
+// bracket. Called with execMu read-held; returns the started slots
+// (finished ones — resumed prefixes already terminal — are delivered
+// by the caller via the finished list).
+func (s *Server) admitGen(replica, level int, admit []*genReq, free *[]*transformer.DecodeState, finished *[]*genSlot) []*genSlot {
+	type adm struct {
+		r          *genReq
+		st         *transformer.DecodeState
+		draft      *transformer.DecodeState
+		tail       []int // uncovered suffix rows to teacher-force (split only)
+		cachedRows int
+		first      int // first generated token (argmax of the admitting pass)
+		needsPre   bool
+		preIdx     int // row in the fused prefill batch
+		tailIdx    int // row in the fused chunk batch
+	}
+	specK := 0
+	if s.cfg.Spec != nil {
+		specK = s.cfg.Spec.K
+	}
+
+	dispatch := time.Now()
+	adms := make([]*adm, 0, len(admit))
+	for _, r := range admit {
+		st, err := s.takeState(replica, free)
+		if err != nil {
+			s.tracer.Abort(r.tr)
+			r.resp <- GenResponse{Err: err}
+			continue
+		}
+		st.Reserve(len(r.prompt) + r.maxTokens + specK + 1)
+		a := &adm{r: r, st: st, needsPre: true, preIdx: -1, tailIdx: -1}
+		if r.memLen > 0 {
+			prefix := r.prompt[:r.memLen]
+			suffix := r.prompt[r.memLen:]
+			a.tail = suffix
+			if s.prefixCache != nil {
+				// cap the match one token short: the last suffix row is
+				// always computed live so the chunk yields the first
+				// generated token's logits
+				if h := s.prefixCache.Match(level, prefix, suffix[:len(suffix)-1]); h != nil {
+					h.Load(st)
+					a.cachedRows = h.Rows()
+					a.tail = suffix[h.Matched():]
+					a.needsPre = false
+					h.Release()
+				}
+			}
+		}
+		adms = append(adms, a)
+	}
+	if len(adms) == 0 {
+		return nil
+	}
+
+	// phase 1: one fused prefill over whole prompts and uncached prefixes
+	var pstates []*transformer.DecodeState
+	var pprompts [][]int
+	rows := 0
+	for _, a := range adms {
+		if !a.needsPre {
+			continue
+		}
+		p := a.r.prompt
+		if a.r.memLen > 0 {
+			p = p[:a.r.memLen]
+		}
+		a.preIdx = len(pstates)
+		pstates = append(pstates, a.st)
+		pprompts = append(pprompts, p)
+		rows += len(p)
+	}
+	var err error
+	if len(pstates) > 0 {
+		// the logits are a view into the replica's activation buffers,
+		// valid only until its next forward — harvest whole-prompt first
+		// tokens before the later phases run more passes
+		var pouts []*mat.Matrix
+		if pouts, err = s.eng.PrefillBatch(replica, pstates, pprompts); err == nil {
+			for _, a := range adms {
+				if a.preIdx >= 0 && a.r.memLen == 0 {
+					out := pouts[a.preIdx]
+					a.first = out.ArgmaxRow(out.Rows - 1)
+				}
+			}
+		}
+	}
+
+	// phase 2: one fused chunk teacher-forcing every split request's
+	// uncovered suffix against its frozen prefix memory
+	var cstates []*transformer.DecodeState
+	var cchunks [][]int
+	for _, a := range adms {
+		if a.r.memLen == 0 || err != nil {
+			continue
+		}
+		a.tailIdx = len(cstates)
+		cstates = append(cstates, a.st)
+		cchunks = append(cchunks, a.tail)
+		rows += len(a.tail)
+	}
+	if err == nil && len(cstates) > 0 {
+		var couts []*mat.Matrix
+		if couts, err = s.eng.DecodeChunkBatch(replica, cstates, cchunks); err == nil {
+			// same view lifetime: split first tokens come off the chunk
+			// logits before the draft phase reuses the buffers
+			for _, a := range adms {
+				if a.tailIdx >= 0 {
+					out := couts[a.tailIdx]
+					a.first = out.ArgmaxRow(out.Rows - 1)
+				}
+			}
+			if s.prefixCache != nil {
+				for _, a := range adms {
+					if a.r.memLen > 0 {
+						s.prefixCache.Insert(level, a.r.prompt[:a.r.memLen], a.r.prompt[a.r.memLen:], a.st)
+					}
+				}
+			}
+		}
+	}
+
+	// phase 3: draft states for speculating requests, prefilled at the
+	// draft level inside the kernel bracket (split requests keep split
+	// semantics at the draft level too; the cache only serves the target
+	// level)
+	if err == nil && s.cfg.Spec != nil {
+		var dadms []*adm
+		for _, a := range adms {
+			if a.r.spec {
+				dadms = append(dadms, a)
+			}
+		}
+		if len(dadms) > 0 {
+			for _, a := range dadms {
+				if a.draft, err = s.takeState(replica, free); err != nil {
+					break
+				}
+				a.draft.Reserve(len(a.r.prompt) + a.r.maxTokens + specK + 1)
+			}
+			if err == nil {
+				draftLevel := s.cfg.Spec.DraftLevel
+				if draftLevel != level {
+					_ = s.eng.InstallReplicaLevel(replica, draftLevel)
+				}
+				var dstates []*transformer.DecodeState
+				var dprompts [][]int
+				for _, a := range dadms {
+					p := a.r.prompt
+					if a.r.memLen > 0 {
+						p = p[:a.r.memLen]
+					}
+					dstates = append(dstates, a.draft)
+					dprompts = append(dprompts, p)
+				}
+				_, err = s.eng.PrefillBatch(replica, dstates, dprompts)
+				if err == nil {
+					dstates = dstates[:0]
+					var dchunks [][]int
+					for _, a := range dadms {
+						if a.r.memLen > 0 {
+							dstates = append(dstates, a.draft)
+							dchunks = append(dchunks, a.r.prompt[a.r.memLen:])
+						}
+					}
+					if len(dstates) > 0 {
+						_, err = s.eng.DecodeChunkBatch(replica, dstates, dchunks)
+					}
+				}
+				if draftLevel != level {
+					_ = s.eng.InstallReplicaLevel(replica, level)
+				}
+			}
+		}
+	}
+
+	s.simDVFSDelay(level, dispatch)
+	prefillDur := time.Since(dispatch)
+	prefillMS := float64(prefillDur.Microseconds()) / 1000
+	s.rec.ObserveBatch(len(adms), s.cfg.MaxBatch)
+
+	var started []*genSlot
+	for _, a := range adms {
+		r := a.r
+		if err != nil {
+			*free = append(*free, a.st)
+			if a.draft != nil {
+				*free = append(*free, a.draft)
+			}
+			s.tracer.Abort(r.tr)
+			r.resp <- GenResponse{Err: err}
+			continue
+		}
+		r.tr.Add("queue", r.enq, dispatch.Sub(r.enq), "batch", float64(len(adms)), "", 0)
+		r.tr.Add("prefill", dispatch, prefillDur, "rows", float64(rows), "level", float64(level))
+		sl := &genSlot{
+			req: r, st: a.st, draft: a.draft,
+			cachedRows: a.cachedRows,
+			queueMS:    float64(dispatch.Sub(r.enq).Microseconds()) / 1000,
+			prefillMS:  prefillMS,
+		}
+		if len(r.prefix) > 0 {
+			sl.tokens = append(sl.tokens, r.prefix...)
+		} else {
+			sl.tokens = append(sl.tokens, a.first)
+		}
+		if r.spec {
+			sl.seq = &spec.Seq{
+				Target: a.st, Draft: a.draft,
+				Base: len(r.prompt),
+				EOS:  r.eos, Max: r.maxTokens,
+			}
+		}
+		if sl.done() {
+			*finished = append(*finished, sl)
+		} else {
+			started = append(started, sl)
+		}
+	}
+	return started
+}
+
+// stepSpec advances caught-up speculating slots by one draft/verify
+// round: K draft-level steps (kernel bracket) plus one fused target
+// chunk over all K+1 positions per sequence, committing the longest
+// accepted prefix plus the target's own next token — one to K+1 tokens
+// per slot per round, bit-identical to the plain loop. Called with
+// execMu read-held; appends finished slots and returns the survivors.
+func (s *Server) stepSpec(replica, level int, sls []*genSlot, finished *[]*genSlot) []*genSlot {
+	seqs := make([]*spec.Seq, len(sls))
+	for i, sl := range sls {
+		sl.seq.Tokens = sl.tokens
+		seqs[i] = sl.seq
+	}
+	exec := specExec{s: s, replica: replica}
+	t0 := time.Now()
+	st := spec.Round(exec, exec, seqs, s.specOptions(replica, level))
+	s.simDVFSDelay(level, t0)
+	roundDur := time.Since(t0)
+	roundMS := float64(roundDur.Microseconds()) / 1000
+
+	s.specRounds.Add(1)
+	s.specDrafted.Add(int64(st.Drafted))
+	s.specAccepted.Add(int64(st.Accepted))
+	s.specCommitted.Add(int64(st.Committed))
+
+	alive := sls[:0]
+	for i, sl := range sls {
+		if s.tracer.SampleStep(sl.steps) {
+			sl.req.tr.Add("spec_round", t0, roundDur,
+				"drafted", float64(st.Drafted), "accepted", float64(st.Accepted))
+		}
+		sl.tokens = seqs[i].Tokens
+		sl.feed = len(sl.tokens) - 1
+		sl.steps++ // the verify chunk is the slot's fused target pass
+		sl.decodeMS += roundMS
+		if seqs[i].Done {
+			*finished = append(*finished, sl)
+		} else {
+			alive = append(alive, sl)
+		}
+	}
+	return alive
+}
+
+// SpecStats snapshots the server-wide speculation counters: rounds,
+// drafted, accepted, committed.
+func (s *Server) SpecStats() (rounds, drafted, accepted, committed int64) {
+	return s.specRounds.Load(), s.specDrafted.Load(), s.specAccepted.Load(), s.specCommitted.Load()
+}
+
+// PrefixCacheStats snapshots the radix prefix cache counters; ok is
+// false when the cache is disabled.
+func (s *Server) PrefixCacheStats() (st spec.RadixStats, ok bool) {
+	if s.prefixCache == nil {
+		return spec.RadixStats{}, false
+	}
+	return s.prefixCache.Stats(), true
+}
+
+// DenseGenReferenceSplit greedily decodes the masked dense reference
+// for a split request at level idx on the quiesced engine — the ground
+// truth a split (prefix-cached or speculative) generation must match
+// token-for-token. maxTokens <= 0 picks Config.MaxGenTokens.
+func (s *Server) DenseGenReferenceSplit(idx int, prefix, suffix []int, maxTokens, eos int) ([]int, error) {
+	if maxTokens <= 0 {
+		maxTokens = s.cfg.MaxGenTokens
+	}
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	return s.eng.DenseGenerateSplit(idx, prefix, suffix, maxTokens, eos)
+}
+
+// SpecEnabled reports whether self-speculative decoding is configured,
+// and the resolved draft level and K when it is.
+func (s *Server) SpecEnabled() (draftLevel, k int, ok bool) {
+	if s.cfg.Spec == nil {
+		return 0, 0, false
+	}
+	return s.cfg.Spec.DraftLevel, s.cfg.Spec.K, true
+}

@@ -1,0 +1,452 @@
+package serve_test
+
+import (
+	"testing"
+
+	"rt3/internal/kernel"
+	"rt3/internal/mat"
+	"rt3/internal/serve"
+	"rt3/internal/spec"
+	"rt3/internal/transformer"
+)
+
+// specRagged builds a ragged prompt batch (distinct lengths) so fused
+// admission, draft prefill, and verify chunks all see uneven rows.
+func specRagged(seed int64) [][]int {
+	return [][]int{
+		randSeqs(1, 7, lmCfg.Vocab, seed)[0],
+		randSeqs(1, 1, lmCfg.Vocab, seed+1)[0],
+		randSeqs(1, 9, lmCfg.Vocab, seed+2)[0],
+		randSeqs(1, 4, lmCfg.Vocab, seed+3)[0],
+	}
+}
+
+// TestGenerateSpecBitIdenticalFormatsLevels is the serving half of the
+// speculative bit-identity suite: for every registry kernel format and
+// every deployed pruning level, a speculating server's output over a
+// ragged batch must equal the plain single-sequence cached loop
+// token-for-token. The last level doubles as the draft level, so one
+// arm also covers draft==target (legal, pointless, still identical).
+func TestGenerateSpecBitIdenticalFormatsLevels(t *testing.T) {
+	budgets := []int{6, 3, 8, 5}
+	for _, format := range kernel.Formats() {
+		format := format
+		t.Run(format, func(t *testing.T) {
+			eng, _ := newLMDeployment(t, 1, format)
+			refEng, _ := newLMDeployment(t, 1, format)
+			srv := serve.New(eng, serve.Config{
+				Generate: true, MaxBatch: 4, QueueCap: 64,
+				Spec: &serve.SpecConfig{DraftLevel: -1, K: 3, Auto: true},
+			})
+			srv.Start()
+			defer srv.Stop()
+
+			prompts := specRagged(101)
+			for lvl := 0; lvl < eng.NumLevels(); lvl++ {
+				if _, err := srv.SwitchTo(lvl); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := refEng.SwitchTo(lvl); err != nil {
+					t.Fatal(err)
+				}
+				chans := make([]<-chan serve.GenResponse, len(prompts))
+				for i := range prompts {
+					ch, err := srv.SubmitGen(prompts[i], budgets[i], -1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					chans[i] = ch
+				}
+				for i, ch := range chans {
+					resp := <-ch
+					if resp.Err != nil {
+						t.Fatalf("level %d request %d: %v", lvl, i, resp.Err)
+					}
+					if len(resp.Tokens) != budgets[i] {
+						t.Fatalf("level %d request %d: %d tokens, want %d", lvl, i, len(resp.Tokens), budgets[i])
+					}
+					_, want := decodeCached(t, refEng, 0, [][]int{prompts[i]}, budgets[i])
+					for j, tok := range resp.Tokens {
+						if tok != want[0][j] {
+							t.Fatalf("level %d request %d token %d: speculative %d, plain %d",
+								lvl, i, j, tok, want[0][j])
+						}
+					}
+					// dense ground truth on top of the cached-loop reference
+					// (exact-arithmetic formats only: f32/int8 argmax may
+					// legitimately flip near-tied logits vs masked dense)
+					if format != "f32" && format != "int8" {
+						dense, err := srv.DenseGenReference(lvl, prompts[i], budgets[i], -1)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for j, tok := range resp.Tokens {
+							if tok != dense[j] {
+								t.Fatalf("level %d request %d token %d: speculative %d, dense %d",
+									lvl, i, j, tok, dense[j])
+							}
+						}
+					}
+					if resp.SpecRounds == 0 {
+						t.Fatalf("level %d request %d: rode zero speculative rounds", lvl, i)
+					}
+					if resp.SpecAccepted > resp.SpecDrafted {
+						t.Fatalf("level %d request %d: accepted %d > drafted %d",
+							lvl, i, resp.SpecAccepted, resp.SpecDrafted)
+					}
+				}
+			}
+			rounds, drafted, accepted, committed := srv.SpecStats()
+			if rounds == 0 || drafted == 0 || committed == 0 {
+				t.Fatalf("spec counters flat: rounds=%d drafted=%d accepted=%d committed=%d",
+					rounds, drafted, accepted, committed)
+			}
+		})
+	}
+}
+
+// TestGenerateSpecMixedBatch drives speculating and plain requests
+// through the same continuous-batching worker (Auto off, per-request
+// opt-in): the step loop partitions them every iteration, and both
+// classes must match the plain reference.
+func TestGenerateSpecMixedBatch(t *testing.T) {
+	eng, _ := newLMDeployment(t, 1, "pattern")
+	refEng, _ := newLMDeployment(t, 1, "pattern")
+	srv := serve.New(eng, serve.Config{
+		Generate: true, MaxBatch: 6, QueueCap: 64,
+		Spec: &serve.SpecConfig{DraftLevel: -1, K: 2},
+	})
+	srv.Start()
+	defer srv.Stop()
+
+	prompts := specRagged(211)
+	const budget = 7
+	chans := make([]<-chan serve.GenResponse, len(prompts))
+	for i := range prompts {
+		var ch <-chan serve.GenResponse
+		var err error
+		if i%2 == 0 {
+			ch, err = srv.SubmitGenOpts(prompts[i], serve.GenOpts{Speculate: true, MaxTokens: budget, EOS: -1})
+		} else {
+			ch, err = srv.SubmitGen(prompts[i], budget, -1)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		resp := <-ch
+		if resp.Err != nil {
+			t.Fatalf("request %d: %v", i, resp.Err)
+		}
+		_, want := decodeCached(t, refEng, 0, [][]int{prompts[i]}, budget)
+		for j, tok := range resp.Tokens {
+			if tok != want[0][j] {
+				t.Fatalf("request %d token %d: got %d, want %d", i, j, tok, want[0][j])
+			}
+		}
+		if i%2 == 0 && resp.SpecRounds == 0 {
+			t.Fatalf("speculating request %d rode zero rounds", i)
+		}
+		if i%2 == 1 && (resp.SpecRounds != 0 || resp.SpecDrafted != 0) {
+			t.Fatalf("plain request %d reports spec stats %d/%d", i, resp.SpecRounds, resp.SpecDrafted)
+		}
+	}
+}
+
+// TestGenerateSpecSplitPrefixCache runs split (shared-system-prompt)
+// requests through the speculating server with the radix prefix cache
+// on: every response must match the masked dense split reference, the
+// first wave populates the cache, and the second wave — same prefix,
+// fresh suffixes — must report cached rows and radix hits.
+func TestGenerateSpecSplitPrefixCache(t *testing.T) {
+	eng, _ := newLMDeployment(t, 1, "pattern")
+	srv := serve.New(eng, serve.Config{
+		Generate: true, MaxBatch: 4, QueueCap: 64,
+		Spec:            &serve.SpecConfig{DraftLevel: -1, K: 2, Auto: true},
+		PrefixCacheRows: -1,
+	})
+	srv.Start()
+	defer srv.Stop()
+
+	prefix := randSeqs(1, 5, lmCfg.Vocab, 307)[0]
+	suffixes := [][]int{
+		randSeqs(1, 3, lmCfg.Vocab, 311)[0],
+		randSeqs(1, 6, lmCfg.Vocab, 313)[0],
+		randSeqs(1, 4, lmCfg.Vocab, 317)[0],
+	}
+	const budget = 6
+	level := eng.Level()
+
+	run := func(suffix []int) serve.GenResponse {
+		t.Helper()
+		prompt := append(append([]int(nil), prefix...), suffix...)
+		ch, err := srv.SubmitGenOpts(prompt, serve.GenOpts{
+			SplitAt: len(prefix), MaxTokens: budget, EOS: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := <-ch
+		if resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+		want, err := srv.DenseGenReferenceSplit(level, prefix, suffix, budget, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Tokens) != len(want) {
+			t.Fatalf("split response %d tokens, want %d", len(resp.Tokens), len(want))
+		}
+		for j, tok := range resp.Tokens {
+			if tok != want[j] {
+				t.Fatalf("split token %d: got %d, dense split reference %d", j, tok, want[j])
+			}
+		}
+		return resp
+	}
+
+	// wave 1: populates the radix tree (each waits, so inserts land
+	// before the next lookup)
+	if resp := run(suffixes[0]); resp.CachedRows != 0 {
+		t.Fatalf("cold split request reports %d cached rows", resp.CachedRows)
+	}
+	// wave 2: same prefix, fresh suffixes — prefix rows must come from
+	// the cache
+	for i, suffix := range suffixes[1:] {
+		resp := run(suffix)
+		if resp.CachedRows < len(prefix) {
+			t.Fatalf("warm split request %d: %d cached rows, want >= prefix %d",
+				i, resp.CachedRows, len(prefix))
+		}
+		if resp.SpecRounds == 0 {
+			t.Fatalf("warm split request %d rode zero speculative rounds", i)
+		}
+	}
+	// an exact repeat shares the suffix too (capped one row short: the
+	// last suffix row is always computed live)
+	resp := run(suffixes[0])
+	wantRows := len(prefix) + len(suffixes[0]) - 1
+	if resp.CachedRows != wantRows {
+		t.Fatalf("repeat split request: %d cached rows, want %d", resp.CachedRows, wantRows)
+	}
+
+	st, ok := srv.PrefixCacheStats()
+	if !ok {
+		t.Fatal("prefix cache configured but stats report disabled")
+	}
+	if st.Hits == 0 || st.HitRows == 0 || st.Inserts == 0 {
+		t.Fatalf("radix counters flat: %+v", st)
+	}
+}
+
+// TestGenerateSpecResume covers the failover path with speculation on:
+// a resumed request replays its committed prefix through plain fused
+// steps, then picks speculation back up — and the full stream must
+// equal the uninterrupted speculative run, which itself equals the
+// uninterrupted plain run.
+func TestGenerateSpecResume(t *testing.T) {
+	eng, _ := newLMDeployment(t, 1, "pattern")
+	plainEng, _ := newLMDeployment(t, 1, "pattern")
+	srv := serve.New(eng, serve.Config{
+		Generate: true, MaxBatch: 4, QueueCap: 16,
+		Spec: &serve.SpecConfig{DraftLevel: -1, K: 3, Auto: true},
+	})
+	plainSrv := serve.New(plainEng, serve.Config{Generate: true, MaxBatch: 4, QueueCap: 16})
+	srv.Start()
+	plainSrv.Start()
+	defer srv.Stop()
+	defer plainSrv.Stop()
+
+	prompt := randSeqs(1, 6, lmCfg.Vocab, 401)[0]
+	const budget = 10
+	ch, err := srv.SubmitGen(prompt, budget, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := <-ch
+	if full.Err != nil {
+		t.Fatal(full.Err)
+	}
+	if len(full.Tokens) != budget {
+		t.Fatalf("full run: %d tokens, want %d", len(full.Tokens), budget)
+	}
+
+	for _, cut := range []int{1, 4, budget - 1} {
+		// resume on the speculating server
+		ch, err := srv.SubmitGenOpts(prompt, serve.GenOpts{
+			Prefix: full.Tokens[:cut], Speculate: true, MaxTokens: budget, EOS: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := <-ch
+		if resp.Err != nil {
+			t.Fatalf("cut %d: %v", cut, resp.Err)
+		}
+		if len(resp.Tokens) != budget {
+			t.Fatalf("cut %d: resumed run has %d tokens, want %d", cut, len(resp.Tokens), budget)
+		}
+		for j, tok := range resp.Tokens {
+			if tok != full.Tokens[j] {
+				t.Fatalf("cut %d token %d: resumed %d, uninterrupted %d", cut, j, tok, full.Tokens[j])
+			}
+		}
+		// the same prefix resumed on a plain server (spec-on crash,
+		// spec-off failover target) must also agree
+		ch, err = plainSrv.SubmitGenResume(prompt, full.Tokens[:cut], budget, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp = <-ch
+		if resp.Err != nil {
+			t.Fatalf("cut %d plain resume: %v", cut, resp.Err)
+		}
+		for j, tok := range resp.Tokens {
+			if tok != full.Tokens[j] {
+				t.Fatalf("cut %d token %d: plain resume %d, speculative %d", cut, j, tok, full.Tokens[j])
+			}
+		}
+	}
+}
+
+// engExec adapts an engine replica to spec.Model for deterministic
+// engine-level rounds (the serve worker's specExec, minus the server).
+type engExec struct {
+	t       *testing.T
+	eng     *serve.Engine
+	replica int
+}
+
+func (x engExec) DecodeStep(states []*transformer.DecodeState, tokens []int) *mat.Matrix {
+	logits, err := x.eng.DecodeBatch(x.replica, states, tokens)
+	if err != nil {
+		x.t.Fatal(err)
+	}
+	return logits
+}
+
+func (x engExec) DecodeChunk(states []*transformer.DecodeState, chunks [][]int) []*mat.Matrix {
+	outs, err := x.eng.DecodeChunkBatch(x.replica, states, chunks)
+	if err != nil {
+		x.t.Fatal(err)
+	}
+	return outs
+}
+
+// TestSpecRoundMidSwitchBitIdentical pins speculation under
+// mid-generation level switches, deterministically: the engine switches
+// levels between draft/verify rounds (the autotuner's step-boundary
+// semantics), the sequence keeps its KV cache across switches, and the
+// committed stream must equal a plain cached replay that applies the
+// identical per-token level schedule. Each committed token's KV row is
+// written by the round that committed its successor, so the replay
+// feeds token j at the level of the round that committed token j+1.
+func TestSpecRoundMidSwitchBitIdentical(t *testing.T) {
+	eng, _ := newLMDeployment(t, 1, "pattern")
+	exec := engExec{t: t, eng: eng, replica: 0}
+	draftLevel := eng.NumLevels() - 1
+	const maxTokens = 14
+	prompt := randSeqs(1, 6, lmCfg.Vocab, 83)[0]
+	schedule := []int{0, 1, 2, 0, 1}
+
+	if _, err := eng.SwitchTo(schedule[0]); err != nil {
+		t.Fatal(err)
+	}
+	target, err := eng.NewDecodeState(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := eng.PrefillBatch(0, []*transformer.DecodeState{target}, [][]int{prompt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := outs[0].ArgmaxRow(outs[0].Rows - 1)
+
+	draft, err := eng.NewDecodeState(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.InstallReplicaLevel(0, draftLevel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.PrefillBatch(0, []*transformer.DecodeState{draft}, [][]int{prompt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.InstallReplicaLevel(0, schedule[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	seq := &spec.Seq{
+		Target: target, Draft: draft,
+		Tokens: []int{first}, Base: len(prompt),
+		EOS: -1, Max: maxTokens,
+	}
+	tokLevels := []int{schedule[0]}
+	for r := 0; !seq.Done; r++ {
+		lvl := schedule[r%len(schedule)]
+		if _, err := eng.SwitchTo(lvl); err != nil {
+			t.Fatal(err)
+		}
+		opts := spec.Options{
+			K: 3,
+			BeginDraft: func() {
+				if err := eng.InstallReplicaLevel(0, draftLevel); err != nil {
+					t.Fatal(err)
+				}
+			},
+			EndDraft: func() {
+				if err := eng.InstallReplicaLevel(0, lvl); err != nil {
+					t.Fatal(err)
+				}
+			},
+		}
+		prev := len(seq.Tokens)
+		spec.Round(exec, exec, []*spec.Seq{seq}, opts)
+		for i := prev; i < len(seq.Tokens); i++ {
+			tokLevels = append(tokLevels, lvl)
+		}
+	}
+	if len(seq.Tokens) != maxTokens {
+		t.Fatalf("speculative run committed %d tokens, want %d", len(seq.Tokens), maxTokens)
+	}
+	switched := false
+	for i := 1; i < len(tokLevels); i++ {
+		if tokLevels[i] != tokLevels[0] {
+			switched = true
+		}
+	}
+	if !switched {
+		t.Fatal("schedule never switched levels mid-generation")
+	}
+
+	// plain cached replay with the identical per-token level schedule
+	if _, err := eng.SwitchTo(tokLevels[0]); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := eng.NewDecodeState(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pouts, err := eng.PrefillBatch(0, []*transformer.DecodeState{ref}, [][]int{prompt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pouts[0].ArgmaxRow(pouts[0].Rows - 1); got != seq.Tokens[0] {
+		t.Fatalf("replay token 0: got %d, speculative %d", got, seq.Tokens[0])
+	}
+	for i := 1; i < len(seq.Tokens); i++ {
+		if _, err := eng.SwitchTo(tokLevels[i]); err != nil {
+			t.Fatal(err)
+		}
+		logits, err := eng.DecodeBatch(0, []*transformer.DecodeState{ref}, []int{seq.Tokens[i-1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := logits.ArgmaxRow(0); got != seq.Tokens[i] {
+			t.Fatalf("replay token %d (level %d): got %d, speculative %d",
+				i, tokLevels[i], got, seq.Tokens[i])
+		}
+	}
+}

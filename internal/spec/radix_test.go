@@ -1,0 +1,427 @@
+package spec
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rt3/internal/transformer"
+)
+
+// radixCfg is deliberately tiny: a narrow vocabulary forces dense
+// suffix overlap, so random workloads exercise edge splits, partial
+// matches, and shared runs rather than disjoint leaves.
+var radixCfg = transformer.Config{
+	Vocab: 12, Dim: 8, Heads: 2, FFHidden: 12, EncLayers: 1, DecLayers: 2, SeqLen: 10,
+}
+
+func newRadixModel(t testing.TB) *transformer.LMModel {
+	t.Helper()
+	m := transformer.NewLMModel(radixCfg, rand.New(rand.NewSource(7)))
+	m.SetBufferReuse(true)
+	return m
+}
+
+// radixPrefixes are the shared system prompts of the property workload.
+var radixPrefixes = [][]int{
+	{3, 1, 4},
+	{2, 7, 1, 8},
+}
+
+// splitPrefill computes a split prefill the way the server does: the
+// prefix alone through Prefill (frozen memory = encoder(prefix)), the
+// suffix teacher-forced through DecodeChunk.
+func splitPrefill(m *transformer.LMModel, prefix, suffix []int) *transformer.DecodeState {
+	st := m.NewDecodeState()
+	st.Reserve(len(prefix) + len(suffix) + 1)
+	m.Prefill([]*transformer.DecodeState{st}, [][]int{prefix})
+	if len(suffix) > 0 {
+		m.DecodeChunk([]*transformer.DecodeState{st}, [][]int{suffix})
+	}
+	return st
+}
+
+// freshKV memoizes fresh split prefills so repeated property checks
+// don't recompute the same reference rows.
+type freshKV struct {
+	m     *transformer.LMModel
+	cache map[string]*transformer.DecodeState
+}
+
+func (f *freshKV) state(pi int, suffix []int) *transformer.DecodeState {
+	key := fmt.Sprint(pi, suffix)
+	if st, ok := f.cache[key]; ok {
+		return st
+	}
+	st := splitPrefill(f.m, radixPrefixes[pi], suffix)
+	f.cache[key] = st
+	return st
+}
+
+// checkRadixInvariants walks the trie under the lock and asserts the
+// structural invariants every operation must preserve: per-node span
+// rows equal edge length, children are keyed by their edge's first
+// token and back-linked, accounted rows equal the sum of spans, and —
+// when the caller holds no hits — every refcount is zero.
+func checkRadixInvariants(t *testing.T, r *Radix, pinned bool) {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rows := 0
+	var walk func(n *radixNode)
+	walk = func(n *radixNode) {
+		if n.parent != nil {
+			if len(n.edge) == 0 {
+				t.Fatal("non-root node with empty edge")
+			}
+			if n.span.Rows != len(n.edge) {
+				t.Fatalf("node owns %d rows for %d edge tokens", n.span.Rows, len(n.edge))
+			}
+		}
+		if !pinned && n.refs != 0 {
+			t.Fatalf("refcount %d with no outstanding hits", n.refs)
+		}
+		if n.refs < 0 {
+			t.Fatalf("negative refcount %d", n.refs)
+		}
+		rows += n.span.Rows
+		for tok, c := range n.children {
+			if c.edge[0] != tok {
+				t.Fatalf("child keyed %d but edge starts %d", tok, c.edge[0])
+			}
+			if c.parent != n {
+				t.Fatal("child parent back-link broken")
+			}
+			walk(c)
+		}
+	}
+	for _, root := range r.roots {
+		if root.cross == nil {
+			t.Fatal("root without cross span")
+		}
+		walk(root)
+	}
+	if rows != r.used {
+		t.Fatalf("accounted %d rows, trie holds %d", r.used, rows)
+	}
+}
+
+// trieCoverage recomputes the longest cached run for a query token by
+// token — an independent walk the Match result must equal for the
+// maximality property.
+func trieCoverage(r *Radix, level int, memory, suffix []int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	node := r.roots[rootKey(level, memory)]
+	if node == nil {
+		return -1
+	}
+	off := 0 // position within node.edge (root edge is empty)
+	matched := 0
+	for matched < len(suffix) {
+		if off == len(node.edge) {
+			next := node.children[suffix[matched]]
+			if next == nil {
+				return matched
+			}
+			node, off = next, 0
+		}
+		if node.edge[off] != suffix[matched] {
+			return matched
+		}
+		off++
+		matched++
+	}
+	return matched
+}
+
+// verifyHit loads a pinned hit into a scratch state and checks the
+// rows bit-equal a fresh split prefill of the same tokens — the cache
+// soundness property: a hit is indistinguishable from recomputing.
+func verifyHit(t *testing.T, m *transformer.LMModel, h *Hit, fresh *freshKV, pi int, suffix []int) {
+	t.Helper()
+	st := m.NewDecodeState()
+	h.Load(st)
+	if st.Pos() != h.Rows() {
+		t.Fatalf("hit loaded %d rows, reported %d", st.Pos(), h.Rows())
+	}
+	ref := fresh.state(pi, suffix[:h.Matched()])
+	if !st.ExportSelf(0, st.Pos()).Equal(ref.ExportSelf(0, ref.Pos())) {
+		t.Fatalf("hit self rows differ from fresh split prefill (prefix %d, matched %d)", pi, h.Matched())
+	}
+	if !st.ExportCross().Equal(ref.ExportCross()) {
+		t.Fatalf("hit cross rows differ from fresh prefill (prefix %d)", pi)
+	}
+}
+
+// TestRadixProperty drives random insert/match/evict sequences against
+// shadow state and re-checks the three cache properties after every
+// operation: structural invariants hold, match lengths are maximal
+// (equal to an independent trie walk), and every hit's rows are
+// bit-equal to a fresh prefill of the covered tokens.
+func TestRadixProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runRadixScript(t, randomScript(seed, 140))
+		})
+	}
+}
+
+// randomScript builds an op stream for runRadixScript: each op is 8
+// bytes (kind, level, prefix, suffix length, 4 token bytes).
+func randomScript(seed int64, ops int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	script := make([]byte, 8*ops)
+	rng.Read(script)
+	return script
+}
+
+// runRadixScript interprets an op stream against a capacity-bounded
+// cache; the same interpreter backs the property seeds and FuzzRadix.
+func runRadixScript(t *testing.T, script []byte) {
+	m := newRadixModel(t)
+	const capRows = 48 // small enough that inserts routinely evict
+	r := NewRadix(capRows)
+	fresh := &freshKV{m: m, cache: map[string]*transformer.DecodeState{}}
+	var held []*Hit
+
+	for len(script) >= 8 {
+		op, script2 := script[:8], script[8:]
+		script = script2
+		pi := int(op[2]) % len(radixPrefixes)
+		slen := 1 + int(op[3])%5
+		suffix := make([]int, slen)
+		for j := range suffix {
+			suffix[j] = int(op[4+j%4]+byte(j)) % radixCfg.Vocab
+		}
+		level := int(op[1]) % 2
+
+		switch op[0] % 4 {
+		case 0, 1: // insert
+			st := fresh.state(pi, suffix)
+			r.Insert(level, radixPrefixes[pi], suffix, st)
+			if cov := trieCoverage(r, level, radixPrefixes[pi], suffix); cov != len(suffix) {
+				// eviction may drop the tail immediately under pressure;
+				// anything cached must still be a prefix
+				if cov < 0 || cov > len(suffix) {
+					t.Fatalf("post-insert coverage %d for %d suffix tokens", cov, len(suffix))
+				}
+			}
+		case 2: // match, verify, release
+			want := trieCoverage(r, level, radixPrefixes[pi], suffix)
+			h := r.Match(level, radixPrefixes[pi], suffix)
+			if (h == nil) != (want < 0) {
+				t.Fatalf("match nil=%v but root coverage %d", h == nil, want)
+			}
+			if h != nil {
+				if h.Matched() != want {
+					t.Fatalf("matched %d, independent walk says %d", h.Matched(), want)
+				}
+				verifyHit(t, m, h, fresh, pi, suffix)
+				h.Release()
+			}
+		case 3: // match and hold the pin (evictions must respect it)
+			if h := r.Match(level, radixPrefixes[pi], suffix); h != nil {
+				held = append(held, h)
+				if len(held) > 3 {
+					held[0].Release()
+					held = held[1:]
+				}
+			}
+		}
+		checkRadixInvariants(t, r, len(held) > 0)
+		if used := r.UsedRows(); len(held) == 0 && used > capRows {
+			t.Fatalf("unpinned cache holds %d rows over the %d budget", used, capRows)
+		}
+	}
+	// pinned spans must still verify after all the eviction churn above
+	for _, h := range held {
+		st := m.NewDecodeState()
+		h.Load(st)
+		if st.Pos() != h.Rows() {
+			t.Fatalf("held hit loads %d rows, want %d", st.Pos(), h.Rows())
+		}
+		h.Release()
+	}
+	checkRadixInvariants(t, r, false)
+}
+
+// FuzzRadix feeds arbitrary op streams through the same interpreter as
+// TestRadixProperty, so `go test -fuzz=FuzzRadix` explores insert/
+// match/evict interleavings beyond the seeded corpus.
+func FuzzRadix(f *testing.F) {
+	f.Add(randomScript(1, 20))
+	f.Add(randomScript(4, 12))
+	f.Add([]byte{0, 0, 0, 2, 5, 5, 5, 5, 2, 0, 0, 2, 5, 5, 5, 5})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 8*60 {
+			script = script[:8*60]
+		}
+		runRadixScript(t, script)
+	})
+}
+
+// TestRadixPinBlocksEviction pins the refcount contract directly: a
+// held hit's nodes survive arbitrary eviction pressure (the budget is
+// allowed to overshoot instead), and release makes them evictable.
+func TestRadixPinBlocksEviction(t *testing.T) {
+	m := newRadixModel(t)
+	r := NewRadix(8)
+	prefix := radixPrefixes[0]
+	suffix := []int{5, 6, 7, 8, 9}
+	r.Insert(0, prefix, suffix, splitPrefill(m, prefix, suffix))
+
+	h := r.Match(0, prefix, suffix)
+	if h == nil || h.Matched() != len(suffix) {
+		t.Fatal("setup: full match expected")
+	}
+
+	// pressure: disjoint inserts that overflow the 8-row budget many
+	// times over — the pinned path must not be evicted
+	for i := 0; i < 6; i++ {
+		s := []int{10, (i * 2) % 10, (i*2 + 1) % 10}
+		r.Insert(0, prefix, s, splitPrefill(m, prefix, s))
+	}
+	if cov := trieCoverage(r, 0, prefix, suffix); cov != len(suffix) {
+		t.Fatalf("pinned path lost coverage: %d of %d", cov, len(suffix))
+	}
+	verifyHit(t, m, h, &freshKV{m: m, cache: map[string]*transformer.DecodeState{}}, 0, suffix)
+	h.Release()
+	checkRadixInvariants(t, r, false)
+
+	// after release one more insert must be able to evict it
+	s := []int{9, 9, 4, 4}
+	r.Insert(0, prefix, s, splitPrefill(m, prefix, s))
+	if used := r.UsedRows(); used > 8+len(prefix)+len(s) {
+		t.Fatalf("released rows not reclaimed: %d held", used)
+	}
+	checkRadixInvariants(t, r, false)
+}
+
+// TestRadixEdgeSplit pins the radix-compression path: inserting a
+// diverging suffix splits the stored run, and both branches then match
+// with sound rows.
+func TestRadixEdgeSplit(t *testing.T) {
+	m := newRadixModel(t)
+	r := NewRadix(0)
+	prefix := radixPrefixes[0]
+	a := []int{5, 6, 7, 8}
+	b := []int{5, 6, 9} // diverges inside a's stored run
+	r.Insert(0, prefix, a, splitPrefill(m, prefix, a))
+	r.Insert(0, prefix, b, splitPrefill(m, prefix, b))
+	checkRadixInvariants(t, r, false)
+
+	fresh := &freshKV{m: m, cache: map[string]*transformer.DecodeState{}}
+	for _, q := range [][]int{a, b, {5, 6}, {5, 6, 7}, {5, 9}} {
+		h := r.Match(0, prefix, q)
+		if h == nil {
+			t.Fatalf("query %v: no hit", q)
+		}
+		if want := trieCoverage(r, 0, prefix, q); h.Matched() != want {
+			t.Fatalf("query %v matched %d, walk says %d", q, h.Matched(), want)
+		}
+		verifyHit(t, m, h, fresh, 0, q)
+		h.Release()
+	}
+	// rows are stored once: prefix + a + the 1 unshared token of b
+	if want := len(prefix) + len(a) + 1; r.UsedRows() != want {
+		t.Fatalf("split trie holds %d rows, want %d", r.UsedRows(), want)
+	}
+}
+
+// TestRadixLevelIsolation pins that roots are keyed by level: rows
+// cached at one pruning level are never served to another (their
+// values differ — different kernels computed them).
+func TestRadixLevelIsolation(t *testing.T) {
+	m := newRadixModel(t)
+	r := NewRadix(0)
+	prefix := radixPrefixes[0]
+	suffix := []int{1, 2, 3}
+	r.Insert(0, prefix, suffix, splitPrefill(m, prefix, suffix))
+	if h := r.Match(1, prefix, suffix); h != nil {
+		t.Fatal("level 1 lookup hit level 0 rows")
+	}
+	if h := r.Match(0, prefix, suffix); h == nil {
+		t.Fatal("same-level lookup missed")
+	}
+}
+
+// TestRadixConcurrentStress hammers one cache from 8 goroutines doing
+// match/load/insert against precomputed states (run under -race in
+// CI). Loaded rows are checked bit-equal to the precomputed reference
+// for the covered tokens — concurrency must never mix rows between
+// paths.
+func TestRadixConcurrentStress(t *testing.T) {
+	m := newRadixModel(t)
+	const workers = 8
+	const itersPer = 60
+
+	// precompute the workload single-threaded: the model is not
+	// goroutine-safe, but DecodeState reads and KVSpan loads are
+	type entry struct {
+		pi     int
+		suffix []int
+		st     *transformer.DecodeState
+		whole  *transformer.KVSpan
+		cross  *transformer.KVSpan
+	}
+	rng := rand.New(rand.NewSource(11))
+	var pool []entry
+	for i := 0; i < 12; i++ {
+		pi := i % len(radixPrefixes)
+		suffix := make([]int, 1+rng.Intn(5))
+		for j := range suffix {
+			suffix[j] = rng.Intn(radixCfg.Vocab)
+		}
+		st := splitPrefill(m, radixPrefixes[pi], suffix)
+		pool = append(pool, entry{
+			pi: pi, suffix: suffix, st: st,
+			whole: st.ExportSelf(0, st.Pos()),
+			cross: st.ExportCross(),
+		})
+	}
+	scratch := make([]*transformer.DecodeState, workers)
+	for w := range scratch {
+		scratch[w] = m.NewDecodeState()
+	}
+
+	r := NewRadix(40) // tight budget: eviction races with pinned loads
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < itersPer; i++ {
+				e := pool[wrng.Intn(len(pool))]
+				if wrng.Intn(2) == 0 {
+					r.Insert(0, radixPrefixes[e.pi], e.suffix, e.st)
+					continue
+				}
+				h := r.Match(0, radixPrefixes[e.pi], e.suffix)
+				if h == nil {
+					continue
+				}
+				st := scratch[w]
+				h.Load(st)
+				rows := h.Rows()
+				if st.Pos() != rows {
+					errs <- fmt.Errorf("worker %d: loaded %d rows, want %d", w, st.Pos(), rows)
+				} else if !st.ExportSelf(0, rows).Equal(e.whole.Slice(0, rows)) {
+					errs <- fmt.Errorf("worker %d: loaded rows differ from reference", w)
+				} else if !st.ExportCross().Equal(e.cross) {
+					errs <- fmt.Errorf("worker %d: cross rows differ from reference", w)
+				}
+				h.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	checkRadixInvariants(t, r, false)
+}

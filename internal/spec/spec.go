@@ -1,0 +1,356 @@
+// Package spec is the self-speculative decoding loop over the paper's
+// multi-level weight set: the same model drafts k tokens greedily at a
+// cheap high-sparsity pruning level, then the active (target) level
+// verifies all k+1 positions in one fused DecodeChunk pass; the longest
+// prefix of drafts matching the target's own greedy choices is accepted
+// and both KV states are rolled back through DecodeState.TruncateTo.
+// Because every committed token is the target level's argmax over a
+// bit-identical context, the output stream equals the plain cached
+// decode loop token for token by construction, for any draft behavior —
+// the draft only decides how many target steps each fused verification
+// replaces. The package also houses the radix-tree prefix KV cache
+// (radix.go) that shares prefill rows across requests with a common
+// system prompt. See docs/SPECULATIVE.md.
+package spec
+
+import (
+	"fmt"
+
+	"rt3/internal/mat"
+	"rt3/internal/transformer"
+)
+
+// Model is the decode surface a speculative round drives: single-row
+// steps for drafting, fused multi-row chunks for verification.
+// transformer.LMModel satisfies it directly; the server adapts its
+// engine replicas (which route through packed kernels and counters).
+type Model interface {
+	DecodeStep(states []*transformer.DecodeState, tokens []int) *mat.Matrix
+	DecodeChunk(states []*transformer.DecodeState, chunks [][]int) []*mat.Matrix
+}
+
+// DecodeLM is the full generation surface the standalone Generate
+// harness needs on top of Model. transformer.LMModel satisfies it.
+type DecodeLM interface {
+	Model
+	NewDecodeState() *transformer.DecodeState
+	Prefill(states []*transformer.DecodeState, prompts [][]int) []*mat.Matrix
+}
+
+// Accept is the speculative acceptance rule: drafted holds the k draft
+// tokens, verified the target level's k+1 greedy choices (verified[j]
+// is the target's token given the committed prefix plus drafted[:j]).
+// It returns the length m of the longest matching prefix and the token
+// the target commits after it — drafted[:m] plus next is exactly the
+// stream the plain target-level loop would have produced, which is the
+// whole bit-identity argument: rows 0..m of the verification chunk
+// attended only committed-or-accepted rows, so their logits equal the
+// plain loop's, and next is either the correction replacing the first
+// rejected draft or the free bonus token after k full acceptances.
+func Accept(drafted, verified []int) (m, next int) {
+	if len(verified) != len(drafted)+1 {
+		panic(fmt.Sprintf("spec: Accept with %d drafts and %d verified tokens", len(drafted), len(verified)))
+	}
+	for i, d := range drafted {
+		if verified[i] != d {
+			return i, verified[i]
+		}
+	}
+	return len(drafted), verified[len(drafted)]
+}
+
+// Seq is one sequence's speculation bookkeeping across rounds. Tokens
+// is the committed output stream (first entry from the prefill argmax
+// or a resumed prefix); the last committed token has not been fed yet —
+// the target state always sits at Base+len(Tokens)-1 rows between
+// rounds, exactly where the plain loop's state would sit. Draft may lag
+// (DraftFed committed tokens fed) and is caught up inside the round.
+type Seq struct {
+	// Target is the active-level KV state: Base prompt rows plus one row
+	// per committed token except the last.
+	Target *transformer.DecodeState
+	// Draft is the draft-level KV state, prefilled over the same prompt
+	// at the draft level. Nil disables drafting for this sequence (its
+	// rounds degenerate to single-token verification — the plain loop).
+	Draft *transformer.DecodeState
+	// Tokens is the committed output stream, never rewritten — only
+	// appended to, and only with target-level greedy choices.
+	Tokens []int
+	// Base is the prompt row count both states were prefilled with.
+	Base int
+	// DraftFed counts committed tokens fed through Draft.
+	DraftFed int
+	// EOS ends the generation when committed (-1 disables); Max caps
+	// len(Tokens).
+	EOS, Max int
+	// Done is set by Round when EOS or the budget is hit.
+	Done bool
+	// Rounds/Drafted/Accepted accumulate this sequence's own speculation
+	// accounting across rounds (the per-request numbers a server reports;
+	// Stats aggregates the same across a whole round's batch).
+	Rounds, Drafted, Accepted int
+}
+
+// done reports whether the latest committed token finished the sequence.
+func (s *Seq) done() bool {
+	return s.Tokens[len(s.Tokens)-1] == s.EOS || len(s.Tokens) >= s.Max
+}
+
+// Options tunes a speculative round.
+type Options struct {
+	// K is the draft length per round. 0 disables drafting: every round
+	// verifies exactly one token — the plain cached decode loop.
+	K int
+	// BeginDraft/EndDraft bracket the draft phase (prefills and steps on
+	// draft states). The server uses them to install the draft level's
+	// packed kernels on the executing replica and restore the active
+	// level's afterwards; nil is a no-op (e.g. when target and draft are
+	// separate model instances).
+	BeginDraft, EndDraft func()
+}
+
+// Stats accumulates speculation accounting across rounds.
+type Stats struct {
+	Rounds       int // fused verification passes
+	DraftSteps   int // fused draft decode steps (catch-up excluded)
+	CatchupSteps int // fused draft steps replaying committed tokens
+	Drafted      int // draft tokens proposed
+	Accepted     int // draft tokens accepted by verification
+	Committed    int // tokens committed (accepted + corrections/bonuses)
+	VerifyRows   int // rows executed through verification chunks
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Rounds += other.Rounds
+	s.DraftSteps += other.DraftSteps
+	s.CatchupSteps += other.CatchupSteps
+	s.Drafted += other.Drafted
+	s.Accepted += other.Accepted
+	s.Committed += other.Committed
+	s.VerifyRows += other.VerifyRows
+}
+
+// Round runs one draft/verify/rollback round over the given sequences
+// (all not Done, target states caught up): the draft phase steps each
+// sequence's draft state up to K tokens at the draft level, then one
+// fused target-level DecodeChunk verifies every sequence's k+1 positions
+// at once, Accept picks the committed tokens, and both states are rolled
+// back to the committed frontier. Every sequence commits at least one
+// token per round; EOS and budget are honored mid-commit, exactly where
+// the plain loop would stop. Draft states that lag the committed stream
+// (a sequence entering speculation after a resume replay) are caught up
+// with teacher-forced draft steps first.
+func Round(target, draft Model, seqs []*Seq, o Options) Stats {
+	if len(seqs) == 0 {
+		panic("spec: Round over no sequences")
+	}
+	st := Stats{Rounds: 1}
+	kEff := make([]int, len(seqs))
+	needDraft := false
+	for i, s := range seqs {
+		if s.Done {
+			panic(fmt.Sprintf("spec: Round over finished sequence %d", i))
+		}
+		if want := s.Base + len(s.Tokens) - 1; s.Target.Pos() != want {
+			panic(fmt.Sprintf("spec: sequence %d target at %d rows, want %d", i, s.Target.Pos(), want))
+		}
+		k := o.K
+		if s.Draft == nil {
+			k = 0
+		}
+		// drafting past the budget is pure waste: at most Max-len(Tokens)
+		// tokens can still be committed, one of which the verification
+		// chunk provides for free
+		if rem := s.Max - len(s.Tokens) - 1; k > rem {
+			k = rem
+		}
+		if k < 0 {
+			k = 0
+		}
+		kEff[i] = k
+		if k > 0 {
+			needDraft = true
+		}
+	}
+
+	drafted := make([][]int, len(seqs))
+	if needDraft {
+		if o.BeginDraft != nil {
+			o.BeginDraft()
+		}
+		var dstates []*transformer.DecodeState
+		var dtoks []int
+		var idx []int
+		// catch-up: teacher-force committed tokens the draft state has
+		// not seen (all but the last, which the first draft step feeds)
+		for {
+			dstates, dtoks, idx = dstates[:0], dtoks[:0], idx[:0]
+			for i, s := range seqs {
+				if kEff[i] > 0 && s.DraftFed < len(s.Tokens)-1 {
+					dstates = append(dstates, s.Draft)
+					dtoks = append(dtoks, s.Tokens[s.DraftFed])
+					idx = append(idx, i)
+				}
+			}
+			if len(idx) == 0 {
+				break
+			}
+			draft.DecodeStep(dstates, dtoks)
+			st.CatchupSteps++
+			for _, i := range idx {
+				seqs[i].DraftFed++
+			}
+		}
+		// draft greedily; a sequence stops early when it drafts its own
+		// EOS (nothing after it could be committed)
+		for step := 0; ; step++ {
+			dstates, dtoks, idx = dstates[:0], dtoks[:0], idx[:0]
+			for i, s := range seqs {
+				if step >= kEff[i] || len(drafted[i]) < step {
+					continue
+				}
+				feed := s.Tokens[len(s.Tokens)-1]
+				if step > 0 {
+					feed = drafted[i][step-1]
+					if feed == s.EOS {
+						continue
+					}
+				}
+				dstates = append(dstates, s.Draft)
+				dtoks = append(dtoks, feed)
+				idx = append(idx, i)
+			}
+			if len(idx) == 0 {
+				break
+			}
+			logits := draft.DecodeStep(dstates, dtoks)
+			st.DraftSteps++
+			for row, i := range idx {
+				drafted[i] = append(drafted[i], logits.ArgmaxRow(row))
+			}
+		}
+		if o.EndDraft != nil {
+			o.EndDraft()
+		}
+	}
+
+	// verification: one fused target-level chunk over every sequence's
+	// unfed committed token plus its drafts
+	chunks := make([][]int, len(seqs))
+	vstates := make([]*transformer.DecodeState, len(seqs))
+	for i, s := range seqs {
+		chunks[i] = append([]int{s.Tokens[len(s.Tokens)-1]}, drafted[i]...)
+		vstates[i] = s.Target
+		st.VerifyRows += len(chunks[i])
+		st.Drafted += len(drafted[i])
+		s.Rounds++
+		s.Drafted += len(drafted[i])
+	}
+	outs := target.DecodeChunk(vstates, chunks)
+
+	for i, s := range seqs {
+		kd := len(drafted[i])
+		l := len(s.Tokens)
+		verified := make([]int, kd+1)
+		for j := range verified {
+			verified[j] = outs[i].ArgmaxRow(j)
+		}
+		m, next := Accept(drafted[i], verified)
+		for j := 0; j <= m; j++ {
+			tok := next
+			if j < m {
+				tok = drafted[i][j]
+				st.Accepted++
+				s.Accepted++
+			}
+			s.Tokens = append(s.Tokens, tok)
+			st.Committed++
+			if s.done() {
+				s.Done = true
+				break
+			}
+		}
+		// rollback: the target keeps exactly the rows of committed tokens
+		// minus the unfed last one; the draft drops rejected draft rows
+		// (or, after a full acceptance, simply lags the bonus token)
+		s.Target.TruncateTo(s.Base + len(s.Tokens) - 1)
+		if s.Draft != nil && kEff[i] > 0 {
+			fed := l - 1 + kd
+			if lp := len(s.Tokens) - 1; lp < fed {
+				fed = lp
+			}
+			s.Draft.TruncateTo(s.Base + fed)
+			s.DraftFed = fed
+		}
+	}
+	return st
+}
+
+// Generate is the standalone speculative generation harness used by
+// tests and benchmarks (the server integrates Round into its
+// continuous-batching loop instead): it prefills target and draft
+// states over the prompts — the draft prefill inside the
+// BeginDraft/EndDraft bracket — then runs rounds until every sequence
+// commits EOS or exhausts maxTokens. Returns the per-sequence committed
+// streams, bit-identical to the plain target-level cached decode loop.
+func Generate(target, draft DecodeLM, prompts [][]int, maxTokens, eos int, o Options) ([][]int, Stats) {
+	if maxTokens < 1 {
+		panic("spec: Generate needs a positive token budget")
+	}
+	tstates := make([]*transformer.DecodeState, len(prompts))
+	for i := range tstates {
+		tstates[i] = target.NewDecodeState()
+		tstates[i].Reserve(len(prompts[i]) + maxTokens + o.K + 1)
+	}
+	touts := target.Prefill(tstates, prompts)
+	seqs := make([]*Seq, len(prompts))
+	for i := range prompts {
+		out := touts[i]
+		seqs[i] = &Seq{
+			Target: tstates[i],
+			Tokens: []int{out.ArgmaxRow(out.Rows - 1)},
+			Base:   len(prompts[i]),
+			EOS:    eos,
+			Max:    maxTokens,
+		}
+		seqs[i].Done = seqs[i].done()
+	}
+	if o.K > 0 {
+		if o.BeginDraft != nil {
+			o.BeginDraft()
+		}
+		dstates := make([]*transformer.DecodeState, len(prompts))
+		for i := range dstates {
+			dstates[i] = draft.NewDecodeState()
+			dstates[i].Reserve(len(prompts[i]) + maxTokens + o.K + 1)
+		}
+		draft.Prefill(dstates, prompts)
+		if o.EndDraft != nil {
+			o.EndDraft()
+		}
+		for i := range seqs {
+			seqs[i].Draft = dstates[i]
+		}
+	}
+
+	var total Stats
+	active := make([]*Seq, 0, len(seqs))
+	for {
+		active = active[:0]
+		for _, s := range seqs {
+			if !s.Done {
+				active = append(active, s)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+		total.Add(Round(target, draft, active, o))
+	}
+	streams := make([][]int, len(seqs))
+	for i, s := range seqs {
+		streams[i] = s.Tokens
+	}
+	return streams, total
+}

@@ -1,0 +1,408 @@
+package spec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rt3/internal/mat"
+	"rt3/internal/spec"
+	"rt3/internal/transformer"
+)
+
+// specCfg mirrors the transformer decode-test topology: multi-layer
+// encoder and decoder so chunked verification crosses the layered
+// cache path.
+var specCfg = transformer.Config{
+	Vocab: 40, Dim: 16, Heads: 4, FFHidden: 24, EncLayers: 2, DecLayers: 2, SeqLen: 12,
+}
+
+func newSpecModel(t testing.TB, seed int64) *transformer.LMModel {
+	t.Helper()
+	m := transformer.NewLMModel(specCfg, rand.New(rand.NewSource(seed)))
+	m.SetBufferReuse(true)
+	return m
+}
+
+func specPrompts(lengths []int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int, len(lengths))
+	for i, n := range lengths {
+		out[i] = make([]int, n)
+		for j := range out[i] {
+			out[i][j] = rng.Intn(specCfg.Vocab)
+		}
+	}
+	return out
+}
+
+// plainGenerate is the non-speculative reference: the ordinary cached
+// greedy decode loop every speculative configuration must reproduce
+// token for token.
+func plainGenerate(m *transformer.LMModel, prompts [][]int, maxTokens, eos int) [][]int {
+	streams := make([][]int, len(prompts))
+	for i, p := range prompts {
+		st := m.NewDecodeState()
+		st.Reserve(len(p) + maxTokens)
+		outs := m.Prefill([]*transformer.DecodeState{st}, [][]int{p})
+		tok := outs[0].ArgmaxRow(outs[0].Rows - 1)
+		streams[i] = append(streams[i], tok)
+		for tok != eos && len(streams[i]) < maxTokens {
+			logits := m.DecodeStep([]*transformer.DecodeState{st}, []int{tok})
+			tok = logits.ArgmaxRow(0)
+			streams[i] = append(streams[i], tok)
+		}
+	}
+	return streams
+}
+
+func equalStreams(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestAcceptRule is the table half of the acceptance matrix: the pure
+// rule over token slices, including the k=0 degenerate case and a
+// mismatch at every position.
+func TestAcceptRule(t *testing.T) {
+	cases := []struct {
+		name     string
+		drafted  []int
+		verified []int
+		m, next  int
+	}{
+		{"k0-degenerate", nil, []int{5}, 0, 5},
+		{"all-accepted-bonus", []int{1, 2, 3}, []int{1, 2, 3, 9}, 3, 9},
+		{"mismatch-at-0", []int{4}, []int{2, 6}, 0, 2},
+		{"mismatch-at-1", []int{1, 7, 3}, []int{1, 2, 8, 9}, 1, 2},
+		{"mismatch-at-2", []int{1, 2, 5}, []int{1, 2, 3, 9}, 2, 3},
+		{"single-accepted", []int{6}, []int{6, 0}, 1, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, next := spec.Accept(c.drafted, c.verified)
+			if m != c.m || next != c.next {
+				t.Fatalf("Accept(%v, %v) = (%d, %d), want (%d, %d)",
+					c.drafted, c.verified, m, next, c.m, c.next)
+			}
+		})
+	}
+	t.Run("length-mismatch-panics", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Accept with len(verified) != len(drafted)+1 did not panic")
+			}
+		}()
+		spec.Accept([]int{1, 2}, []int{1, 2})
+	})
+}
+
+// corruptingDraft wraps a draft model and flips the argmax of one
+// chosen draft step (counting every DecodeStep row fed through it), so
+// a round against an otherwise-identical target is forced to reject at
+// exactly that position.
+type corruptingDraft struct {
+	spec.Model
+	at   int // row index to corrupt, counted across DecodeStep calls
+	seen int
+}
+
+func (c *corruptingDraft) DecodeStep(states []*transformer.DecodeState, tokens []int) *mat.Matrix {
+	logits := c.Model.DecodeStep(states, tokens)
+	for row := 0; row < logits.Rows; row++ {
+		if c.seen == c.at {
+			best := logits.ArgmaxRow(row)
+			wrong := (best + 1) % logits.Cols
+			logits.Set(row, wrong, logits.At(row, best)+1)
+		}
+		c.seen++
+	}
+	return logits
+}
+
+// TestRoundAcceptanceMatrix is the model-driven half of the acceptance
+// matrix: with draft weights identical to the target all k drafts are
+// accepted (plus the bonus token); with a corruption forced at draft
+// position j exactly j drafts are accepted and the committed token at
+// the rejection point is the target's correction; and in every case
+// the committed stream stays the plain loop's stream — rejections only
+// cost speed, never bits.
+func TestRoundAcceptanceMatrix(t *testing.T) {
+	const k = 4
+	m := newSpecModel(t, 7)
+	prompts := specPrompts([]int{5}, 61)
+	want := plainGenerate(m, prompts, 1+k+1, -1)
+
+	newSeq := func() *spec.Seq {
+		tst := m.NewDecodeState()
+		tst.Reserve(len(prompts[0]) + 2*k + 4)
+		touts := m.Prefill([]*transformer.DecodeState{tst}, prompts)
+		dst := m.NewDecodeState()
+		dst.Reserve(len(prompts[0]) + 2*k + 4)
+		m.Prefill([]*transformer.DecodeState{dst}, prompts)
+		return &spec.Seq{
+			Target: tst,
+			Draft:  dst,
+			Tokens: []int{touts[0].ArgmaxRow(touts[0].Rows - 1)},
+			Base:   len(prompts[0]),
+			EOS:    -1,
+			Max:    64,
+		}
+	}
+
+	t.Run("identical-draft-accepts-all", func(t *testing.T) {
+		s := newSeq()
+		st := spec.Round(m, m, []*spec.Seq{s}, spec.Options{K: k})
+		if st.Drafted != k || st.Accepted != k || st.Committed != k+1 {
+			t.Fatalf("drafted/accepted/committed = %d/%d/%d, want %d/%d/%d",
+				st.Drafted, st.Accepted, st.Committed, k, k, k+1)
+		}
+		if !equalStreams([][]int{s.Tokens}, want) {
+			t.Fatalf("committed %v, want %v", s.Tokens, want[0])
+		}
+		if s.Target.Pos() != s.Base+len(s.Tokens)-1 {
+			t.Fatalf("target at %d rows after round, want %d", s.Target.Pos(), s.Base+len(s.Tokens)-1)
+		}
+	})
+
+	for j := 0; j < k; j++ {
+		t.Run("mismatch-at-"+string(rune('0'+j)), func(t *testing.T) {
+			s := newSeq()
+			draft := &corruptingDraft{Model: m, at: j}
+			st := spec.Round(m, draft, []*spec.Seq{s}, spec.Options{K: k})
+			if st.Accepted != j {
+				t.Fatalf("accepted %d drafts with corruption at %d, want %d", st.Accepted, j, j)
+			}
+			if st.Committed != j+1 {
+				t.Fatalf("committed %d with corruption at %d, want %d", st.Committed, j, j+1)
+			}
+			// the correction is the target's own choice: the committed
+			// stream is a prefix of the plain loop's stream
+			if got := s.Tokens; !equalStreams([][]int{got}, [][]int{want[0][:len(got)]}) {
+				t.Fatalf("committed %v, want prefix of %v", got, want[0])
+			}
+			if s.Target.Pos() != s.Base+len(s.Tokens)-1 {
+				t.Fatalf("target at %d rows after rejection, want %d", s.Target.Pos(), s.Base+len(s.Tokens)-1)
+			}
+			// the next round continues bit-identically from the rollback
+			committed := append([]int(nil), s.Tokens...)
+			st2 := spec.Round(m, m, []*spec.Seq{s}, spec.Options{K: k})
+			if st2.Accepted != k {
+				t.Fatalf("post-rollback round accepted %d, want %d", st2.Accepted, k)
+			}
+			wantCont := append(committed, plainContinue(t, m, prompts[0], committed, k+1)...)
+			if got := s.Tokens; !equalStreams([][]int{got}, [][]int{wantCont}) {
+				t.Fatalf("post-rollback stream %v diverged from plain loop %v", got, wantCont)
+			}
+		})
+	}
+
+	t.Run("k0-degenerates-to-plain-loop", func(t *testing.T) {
+		s := newSeq()
+		s.Draft = nil
+		var total spec.Stats
+		for i := 0; i < k+1; i++ {
+			st := spec.Round(m, nil, []*spec.Seq{s}, spec.Options{K: 0})
+			if st.Committed != 1 || st.VerifyRows != 1 || st.Drafted != 0 || st.DraftSteps != 0 {
+				t.Fatalf("k=0 round committed/rows/drafted/steps = %d/%d/%d/%d, want 1/1/0/0",
+					st.Committed, st.VerifyRows, st.Drafted, st.DraftSteps)
+			}
+			total.Add(st)
+		}
+		if !equalStreams([][]int{s.Tokens}, want) {
+			t.Fatalf("k=0 stream %v, want %v", s.Tokens, want[0])
+		}
+		if total.Rounds != k+1 {
+			t.Fatalf("k=0 used %d rounds for %d tokens", total.Rounds, k+1)
+		}
+	})
+}
+
+// plainContinue extends a committed stream with n more plain-loop
+// tokens (prompt + committed teacher-forced first).
+func plainContinue(t *testing.T, m *transformer.LMModel, prompt, committed []int, n int) []int {
+	t.Helper()
+	st := m.NewDecodeState()
+	st.Reserve(len(prompt) + len(committed) + n + 1)
+	m.Prefill([]*transformer.DecodeState{st}, [][]int{prompt})
+	tok := committed[0]
+	for _, c := range committed[1:] {
+		m.DecodeStep([]*transformer.DecodeState{st}, []int{tok})
+		tok = c
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		logits := m.DecodeStep([]*transformer.DecodeState{st}, []int{tok})
+		tok = logits.ArgmaxRow(0)
+		out = append(out, tok)
+	}
+	return out
+}
+
+// TestGenerateBitIdentical pins the end-to-end guarantee: speculative
+// Generate equals the plain cached loop token for token — for an
+// identical draft (full acceptance), a differently-seeded draft (mixed
+// acceptance), a corrupting draft (frequent rejection), across k
+// values, ragged batches, and EOS-terminated streams.
+func TestGenerateBitIdentical(t *testing.T) {
+	target := newSpecModel(t, 7)
+	other := newSpecModel(t, 41)
+	prompts := specPrompts([]int{5, 1, 8, 3}, 67)
+	const maxTokens = 18
+	want := plainGenerate(target, prompts, maxTokens, -1)
+
+	drafts := []struct {
+		name  string
+		model spec.DecodeLM
+	}{
+		{"identical-draft", target},
+		{"different-weights-draft", other},
+	}
+	for _, d := range drafts {
+		for _, k := range []int{1, 2, 3, 5} {
+			t.Run(d.name+"-k"+string(rune('0'+k)), func(t *testing.T) {
+				got, st := spec.Generate(target, d.model, prompts, maxTokens, -1, spec.Options{K: k})
+				if !equalStreams(got, want) {
+					t.Fatalf("speculative output diverged from plain loop:\n got %v\nwant %v", got, want)
+				}
+				// rounds commit everything except each sequence's first
+				// token, which comes from the prefill argmax
+				wantTotal := -len(want)
+				for _, s := range want {
+					wantTotal += len(s)
+				}
+				if st.Committed != wantTotal {
+					t.Fatalf("stats committed %d, want %d", st.Committed, wantTotal)
+				}
+				if d.model == target && st.Accepted != st.Drafted {
+					t.Fatalf("identical draft accepted %d of %d drafts", st.Accepted, st.Drafted)
+				}
+			})
+		}
+	}
+
+	t.Run("eos-stops-identically", func(t *testing.T) {
+		// force an EOS the streams actually hit: a mid-stream token of
+		// the unbounded run
+		eos := want[0][2]
+		wantEOS := plainGenerate(target, prompts, maxTokens, eos)
+		got, _ := spec.Generate(target, other, prompts, maxTokens, eos, spec.Options{K: 3})
+		if !equalStreams(got, wantEOS) {
+			t.Fatalf("EOS run diverged:\n got %v\nwant %v", got, wantEOS)
+		}
+		if len(got[0]) >= len(want[0]) {
+			t.Fatal("EOS did not shorten the stream — test vacuous")
+		}
+	})
+
+	t.Run("k0-is-plain-loop", func(t *testing.T) {
+		got, st := spec.Generate(target, nil, prompts, maxTokens, -1, spec.Options{K: 0})
+		if !equalStreams(got, want) {
+			t.Fatalf("k=0 Generate diverged from plain loop")
+		}
+		if st.Drafted != 0 || st.DraftSteps != 0 || st.CatchupSteps != 0 {
+			t.Fatalf("k=0 ran draft work: %+v", st)
+		}
+	})
+
+	t.Run("hostile-draft-still-bit-identical", func(t *testing.T) {
+		// corrupt every 3rd draft row: acceptance collapses, output must not
+		hostile := &corruptingEvery{Model: other, every: 3}
+		wrapped := draftLM{Model: hostile, lm: other}
+		got, st := spec.Generate(target, wrapped, prompts, maxTokens, -1, spec.Options{K: 4})
+		if !equalStreams(got, want) {
+			t.Fatalf("hostile draft changed output bits")
+		}
+		if st.Accepted >= st.Drafted {
+			t.Fatal("hostile draft was fully accepted — corruption vacuous")
+		}
+	})
+}
+
+// corruptingEvery flips the argmax of every n-th draft row.
+type corruptingEvery struct {
+	spec.Model
+	every int
+	seen  int
+}
+
+func (c *corruptingEvery) DecodeStep(states []*transformer.DecodeState, tokens []int) *mat.Matrix {
+	logits := c.Model.DecodeStep(states, tokens)
+	for row := 0; row < logits.Rows; row++ {
+		if c.seen%c.every == 0 {
+			best := logits.ArgmaxRow(row)
+			wrong := (best + 1) % logits.Cols
+			logits.Set(row, wrong, logits.At(row, best)+1)
+		}
+		c.seen++
+	}
+	return logits
+}
+
+// draftLM grafts a wrapped Model's steps onto a real model's prefill
+// surface so corrupting wrappers can drive Generate.
+type draftLM struct {
+	spec.Model
+	lm spec.DecodeLM
+}
+
+func (d draftLM) NewDecodeState() *transformer.DecodeState { return d.lm.NewDecodeState() }
+func (d draftLM) Prefill(states []*transformer.DecodeState, prompts [][]int) []*mat.Matrix {
+	return d.lm.Prefill(states, prompts)
+}
+
+// TestRoundDraftCatchup pins the resume path: a sequence whose draft
+// state lags the committed stream (as after a failover replay) is
+// caught up inside the round and then speculates normally, with the
+// stream still the plain loop's.
+func TestRoundDraftCatchup(t *testing.T) {
+	const k = 3
+	m := newSpecModel(t, 7)
+	prompts := specPrompts([]int{6}, 71)
+	want := plainGenerate(m, prompts, 12, -1)
+
+	// build a sequence that already committed 4 tokens plain-loop style:
+	// target caught up, draft prefilled only
+	tst := m.NewDecodeState()
+	tst.Reserve(32)
+	touts := m.Prefill([]*transformer.DecodeState{tst}, prompts)
+	tokens := []int{touts[0].ArgmaxRow(touts[0].Rows - 1)}
+	for len(tokens) < 4 {
+		logits := m.DecodeStep([]*transformer.DecodeState{tst}, []int{tokens[len(tokens)-1]})
+		tokens = append(tokens, logits.ArgmaxRow(0))
+	}
+	dst := m.NewDecodeState()
+	dst.Reserve(32)
+	m.Prefill([]*transformer.DecodeState{dst}, prompts)
+	s := &spec.Seq{
+		Target: tst, Draft: dst,
+		Tokens: append([]int(nil), tokens...),
+		Base:   len(prompts[0]),
+		EOS:    -1, Max: 12,
+	}
+
+	var total spec.Stats
+	for !s.Done {
+		total.Add(spec.Round(m, m, []*spec.Seq{s}, spec.Options{K: k}))
+	}
+	if !equalStreams([][]int{s.Tokens}, want) {
+		t.Fatalf("resumed speculative stream %v, want %v", s.Tokens, want[0])
+	}
+	if total.CatchupSteps == 0 {
+		t.Fatal("lagging draft needed no catch-up steps — test vacuous")
+	}
+	if total.Accepted != total.Drafted {
+		t.Fatalf("identical draft accepted %d of %d after catch-up", total.Accepted, total.Drafted)
+	}
+}

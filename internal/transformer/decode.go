@@ -73,6 +73,25 @@ func (c *KVCache) appendRows(k, v *mat.Matrix, r0, r1 int) {
 	}
 }
 
+// appendFloats copies packed row-major key/value data (len(k) == len(v)
+// == rows*dim) onto the cache — the import half of the KVSpan API the
+// prefix cache restores states through.
+func (c *KVCache) appendFloats(k, v []float64) {
+	if len(k) != len(v) || len(k)%c.dim != 0 {
+		panic(fmt.Sprintf("transformer: appendFloats with %d/%d floats at dim %d", len(k), len(v), c.dim))
+	}
+	need := c.Rows() + len(k)/c.dim
+	if c.capRows() < need {
+		double := 2 * c.Rows()
+		if double < need {
+			double = need
+		}
+		c.reserve(double)
+	}
+	c.k = append(c.k, k...)
+	c.v = append(c.v, v...)
+}
+
 // truncate drops cached rows beyond rows, keeping capacity.
 func (c *KVCache) truncate(rows int) {
 	c.k = c.k[:rows*c.dim]
@@ -150,6 +169,104 @@ func (st *DecodeState) TruncateTo(pos int) {
 	st.pos = pos
 }
 
+// KVSpan is one contiguous run of projected K/V rows copied out of a
+// DecodeState, one k/v pair per decoder layer — the immutable storage
+// unit of the radix prefix cache. Spans taken from a state rebuild a
+// bit-identical state through LoadKV, and Slice re-splits a span without
+// copying (the backing rows are shared and treated as read-only).
+type KVSpan struct {
+	K, V [][]float64 // per decoder layer, Rows x Dim packed row-major
+	Rows int
+	Dim  int
+}
+
+// ExportSelf copies self-attention K/V rows [r0, r1) of every decoder
+// layer out of the state.
+func (st *DecodeState) ExportSelf(r0, r1 int) *KVSpan {
+	if r0 < 0 || r1 < r0 || r1 > st.pos {
+		panic(fmt.Sprintf("transformer: ExportSelf [%d, %d) of %d rows", r0, r1, st.pos))
+	}
+	return exportSpan(st.self, r0, r1)
+}
+
+// ExportCross copies the frozen cross-attention memory projections of
+// every decoder layer out of the state.
+func (st *DecodeState) ExportCross() *KVSpan {
+	return exportSpan(st.cross, 0, st.cross[0].Rows())
+}
+
+func exportSpan(caches []KVCache, r0, r1 int) *KVSpan {
+	dim := caches[0].dim
+	sp := &KVSpan{Rows: r1 - r0, Dim: dim}
+	for li := range caches {
+		c := &caches[li]
+		sp.K = append(sp.K, append([]float64(nil), c.k[r0*dim:r1*dim]...))
+		sp.V = append(sp.V, append([]float64(nil), c.v[r0*dim:r1*dim]...))
+	}
+	return sp
+}
+
+// Slice returns rows [r0, r1) of the span as a view sharing the backing
+// storage — the radix tree's edge-split primitive.
+func (sp *KVSpan) Slice(r0, r1 int) *KVSpan {
+	if r0 < 0 || r1 < r0 || r1 > sp.Rows {
+		panic(fmt.Sprintf("transformer: KVSpan Slice [%d, %d) of %d rows", r0, r1, sp.Rows))
+	}
+	out := &KVSpan{Rows: r1 - r0, Dim: sp.Dim}
+	for li := range sp.K {
+		out.K = append(out.K, sp.K[li][r0*sp.Dim:r1*sp.Dim])
+		out.V = append(out.V, sp.V[li][r0*sp.Dim:r1*sp.Dim])
+	}
+	return out
+}
+
+// Equal reports exact (bitwise) equality of two spans.
+func (sp *KVSpan) Equal(other *KVSpan) bool {
+	if sp.Rows != other.Rows || sp.Dim != other.Dim || len(sp.K) != len(other.K) {
+		return false
+	}
+	for li := range sp.K {
+		for i, v := range sp.K[li] {
+			if other.K[li][i] != v {
+				return false
+			}
+		}
+		for i, v := range sp.V[li] {
+			if other.V[li][i] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LoadKV replaces the state's contents with externally captured rows:
+// cross becomes the frozen memory and the self spans are appended in
+// order, leaving Pos at their total row count — after which the state is
+// indistinguishable from one whose first Pos rows were just prefilled
+// (the equivalence the prefix-cache tests pin). The state's reserved
+// storage is reused.
+func (st *DecodeState) LoadKV(cross *KVSpan, selfSpans ...*KVSpan) {
+	if len(cross.K) != len(st.self) {
+		panic(fmt.Sprintf("transformer: LoadKV cross has %d layers, state wants %d", len(cross.K), len(st.self)))
+	}
+	st.Reset()
+	for li := range st.cross {
+		st.cross[li].appendFloats(cross.K[li], cross.V[li])
+	}
+	total := 0
+	for _, sp := range selfSpans {
+		if len(sp.K) != len(st.self) {
+			panic(fmt.Sprintf("transformer: LoadKV span has %d layers, state wants %d", len(sp.K), len(st.self)))
+		}
+		for li := range st.self {
+			st.self[li].appendFloats(sp.K[li], sp.V[li])
+		}
+		total += sp.Rows
+	}
+	st.pos = total
+}
+
 // Prefill runs the prompt phase of incremental decoding: one packed
 // forward pass over the prompts — the exact ForwardBatch computation —
 // that additionally seeds each sequence's DecodeState with every
@@ -209,6 +326,50 @@ func (m *LMModel) DecodeStep(states []*DecodeState, tokens []int) *mat.Matrix {
 		st.pos++
 	}
 	return logits
+}
+
+// DecodeChunk advances every sequence by a run of tokens in one fused
+// pass: chunks[i] (non-empty, possibly ragged across sequences) is fed
+// to states[i] exactly as len(chunks[i]) consecutive DecodeStep calls
+// would feed it, but the Σk new rows are packed into one matrix so every
+// Linear in the decoder stack issues a single kernel product for the
+// whole chunk batch. Row j of sequence i attends its own cache rows
+// [0, Pos+j] — the same causal window the sequential steps see — through
+// arithmetic shared operation-for-operation with the single-row path, so
+// the returned per-sequence logits (views, ForwardBatch aliasing
+// contract) are bit-identical to the stacked DecodeStep logits over the
+// same tokens. This is the speculative verifier (all k+1 draft positions
+// in one target-level pass) and the prefix-cache suffix replayer; unlike
+// DecodeStep it is also legal at Pos 0 on a state holding a frozen
+// cross-attention memory, where it reproduces the prefill's decoder
+// computation row-for-row.
+func (m *LMModel) DecodeChunk(states []*DecodeState, chunks [][]int) []*mat.Matrix {
+	if len(states) == 0 || len(states) != len(chunks) {
+		panic(fmt.Sprintf("transformer: DecodeChunk with %d states for %d chunks", len(states), len(chunks)))
+	}
+	m.chunkFlat, m.chunkOff = packIDs(chunks, m.chunkFlat, m.chunkOff)
+	x := m.Embed.Forward(m.chunkFlat)
+	for s, st := range states {
+		if st.cross[0].Rows() == 0 {
+			panic("transformer: DecodeChunk before Prefill (no frozen memory)")
+		}
+		for j := range chunks[s] {
+			row := x.Row(m.chunkOff[s] + j)
+			pe := m.Pos.Row((st.pos + j) % m.Pos.Rows)
+			for i := range row {
+				row[i] += pe[i]
+			}
+		}
+	}
+	d := x
+	for li, dec := range m.Dec {
+		d = dec.DecodeChunk(d, states, li, m.chunkOff)
+	}
+	logits := m.Proj.Forward(d)
+	for s, st := range states {
+		st.pos += len(chunks[s])
+	}
+	return splitRows(logits, m.chunkOff)
 }
 
 // EncodeBatch runs the embedding and encoder stack over the packed
@@ -273,6 +434,30 @@ func (d *DecoderLayer) DecodeStep(x *mat.Matrix, states []*DecodeState, li int) 
 	return d.LN3.Forward(f)
 }
 
+// DecodeChunk runs the block on a packed run of new token rows per
+// sequence (sequence s owns x rows [off[s], off[s+1])), extending the
+// caches of decoder layer li exactly as the equivalent DecodeStep
+// sequence would.
+func (d *DecoderLayer) DecodeChunk(x *mat.Matrix, states []*DecodeState, li int, off []int) *mat.Matrix {
+	d.decSelf = d.decSelf[:0]
+	d.decCross = d.decCross[:0]
+	for _, st := range states {
+		d.decSelf = append(d.decSelf, &st.self[li])
+		d.decCross = append(d.decCross, &st.cross[li])
+	}
+	a := d.SelfAttn.DecodeChunk(x, d.decSelf, off, true)
+	a.Add(x)
+	h1 := d.LN1.Forward(a)
+
+	c := d.CrossAttn.DecodeChunk(h1, d.decCross, off, false)
+	c.Add(h1)
+	h2 := d.LN2.Forward(c)
+
+	f := d.FF.Forward(h2)
+	f.Add(h2)
+	return d.LN3.Forward(f)
+}
+
 // harvestKV copies the projected K/V rows of the block's last
 // ForwardBatch call (a prefill) into the per-sequence caches of decoder
 // layer li.
@@ -322,6 +507,34 @@ func (a *MultiHeadAttention) DecodeStep(x *mat.Matrix, caches []*KVCache, append
 	return a.WO.Forward(concat)
 }
 
+// DecodeChunk is the multi-row variant of DecodeStep: x packs a run of
+// new query rows per sequence (sequence s owns rows [off[s], off[s+1])),
+// so the projections still execute as one fused kernel product over all
+// Σk packed rows. When causal is set (self-attention) the chunk's K/V
+// rows are appended first and row j of a sequence attends only cache
+// rows [0, base+j] — base being the cache length before the append — so
+// each row sees exactly the window the equivalent single-token step
+// would; cross-attention passes false and every row attends the whole
+// frozen cache. The score/value arithmetic is attendRowHead, shared with
+// DecodeStep, which is what makes chunked decoding bit-identical to the
+// sequential steps it fuses.
+func (a *MultiHeadAttention) DecodeChunk(x *mat.Matrix, caches []*KVCache, off []int, causal bool) *mat.Matrix {
+	if len(caches) != len(off)-1 {
+		panic(fmt.Sprintf("transformer: DecodeChunk with %d caches for %d sequences", len(caches), len(off)-1))
+	}
+	q := a.WQ.Forward(x)
+	if causal {
+		k := a.WK.Forward(x)
+		v := a.WV.Forward(x)
+		for s, c := range caches {
+			c.appendRows(k, v, off[s], off[s+1])
+		}
+	}
+	concat := mat.EnsureShape(&a.concat, a.reuse, x.Rows, a.Dim)
+	a.chunkAttend(concat, q, caches, off, causal)
+	return a.WO.Forward(concat)
+}
+
 // decodeAttend computes per-head attention of each sequence's single
 // query row over its cached K/V rows, writing context rows into dst.
 // The arithmetic replicates the batched path operation for operation —
@@ -331,6 +544,45 @@ func (a *MultiHeadAttention) DecodeStep(x *mat.Matrix, caches []*KVCache, append
 // are bit-identical to the block-diagonal batch computation over the
 // same rows.
 func (a *MultiHeadAttention) decodeAttend(dst, q *mat.Matrix, caches []*KVCache) {
+	a.growScores(caches)
+	scale := 1 / math.Sqrt(float64(a.HeadDim))
+	hd := a.HeadDim
+	for h := 0; h < a.Heads; h++ {
+		off := h * hd
+		for s, c := range caches {
+			a.attendRowHead(dst.Row(s)[off:off+hd], q.Row(s)[off:off+hd], c, c.Rows(), off, scale)
+		}
+	}
+}
+
+// chunkAttend computes per-head attention of each sequence's chunk rows
+// over its cache through the same attendRowHead arithmetic as the
+// single-row path, windowing causal rows to [0, base+j] (base = cache
+// rows before the chunk's append) so row j of a chunk attends exactly
+// what the j-th sequential DecodeStep would.
+func (a *MultiHeadAttention) chunkAttend(dst, q *mat.Matrix, caches []*KVCache, off []int, causal bool) {
+	a.growScores(caches)
+	scale := 1 / math.Sqrt(float64(a.HeadDim))
+	hd := a.HeadDim
+	for h := 0; h < a.Heads; h++ {
+		ho := h * hd
+		for s, c := range caches {
+			n := off[s+1] - off[s]
+			base := c.Rows() - n
+			for j := 0; j < n; j++ {
+				r := off[s] + j
+				rows := c.Rows()
+				if causal {
+					rows = base + j + 1
+				}
+				a.attendRowHead(dst.Row(r)[ho:ho+hd], q.Row(r)[ho:ho+hd], c, rows, ho, scale)
+			}
+		}
+	}
+}
+
+// growScores sizes the shared score scratch for the largest cache.
+func (a *MultiHeadAttention) growScores(caches []*KVCache) {
 	maxRows := 0
 	for _, c := range caches {
 		if n := c.capRows(); n > maxRows {
@@ -338,52 +590,52 @@ func (a *MultiHeadAttention) decodeAttend(dst, q *mat.Matrix, caches []*KVCache)
 		}
 	}
 	a.decScores = mat.GrowFloats(a.decScores, maxRows)
-	scale := 1 / math.Sqrt(float64(a.HeadDim))
-	hd := a.HeadDim
-	for h := 0; h < a.Heads; h++ {
-		off := h * hd
-		for s, c := range caches {
-			rows := c.Rows()
-			qrow := q.Row(s)[off : off+hd]
-			scores := a.decScores[:rows]
-			for j := 0; j < rows; j++ {
-				krow := c.k[j*c.dim+off : j*c.dim+off+hd]
-				var sum float64
-				for cc, qv := range qrow {
-					sum += qv * krow[cc]
-				}
-				scores[j] = sum * scale
-			}
-			maxv := scores[0]
-			for _, v := range scores[1:] {
-				if v > maxv {
-					maxv = v
-				}
-			}
-			var sum float64
-			for j, v := range scores {
-				e := math.Exp(v - maxv)
-				scores[j] = e
-				sum += e
-			}
-			inv := 1 / sum
-			for j := range scores {
-				scores[j] *= inv
-			}
-			out := dst.Row(s)[off : off+hd]
-			for cc := range out {
-				out[cc] = 0
-			}
-			for j := 0; j < rows; j++ {
-				sv := scores[j]
-				if sv == 0 {
-					continue
-				}
-				vrow := c.v[j*c.dim+off : j*c.dim+off+hd]
-				for cc, vv := range vrow {
-					out[cc] += sv * vv
-				}
-			}
+}
+
+// attendRowHead is the shared inner loop of cached attention: one head's
+// scores of a single query row over the first rows cached K/V rows, the
+// max-subtracted softmax, and the ascending-row value accumulation with
+// MatMul's zero skip — the exact batched-path operation order, factored
+// out so the single-row (DecodeStep) and chunked (DecodeChunk) paths are
+// bit-identical by construction.
+func (a *MultiHeadAttention) attendRowHead(out, qrow []float64, c *KVCache, rows, off int, scale float64) {
+	hd := len(qrow)
+	scores := a.decScores[:rows]
+	for j := 0; j < rows; j++ {
+		krow := c.k[j*c.dim+off : j*c.dim+off+hd]
+		var sum float64
+		for cc, qv := range qrow {
+			sum += qv * krow[cc]
+		}
+		scores[j] = sum * scale
+	}
+	maxv := scores[0]
+	for _, v := range scores[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for j, v := range scores {
+		e := math.Exp(v - maxv)
+		scores[j] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for j := range scores {
+		scores[j] *= inv
+	}
+	for cc := range out {
+		out[cc] = 0
+	}
+	for j := 0; j < rows; j++ {
+		sv := scores[j]
+		if sv == 0 {
+			continue
+		}
+		vrow := c.v[j*c.dim+off : j*c.dim+off+hd]
+		for cc, vv := range vrow {
+			out[cc] += sv * vv
 		}
 	}
 }

@@ -78,10 +78,13 @@ type LMModel struct {
 	reuse bool
 
 	// incremental-decoding scratch (see decode.go): the one-token-per-
-	// sequence id batch of DecodeStep and the reference path's packing.
-	stepIDs []int
-	refOff  []int
-	refFlat []int
+	// sequence id batch of DecodeStep, DecodeChunk's packing, and the
+	// reference path's packing.
+	stepIDs   []int
+	chunkOff  []int
+	chunkFlat []int
+	refOff    []int
+	refFlat   []int
 }
 
 // NewLMModel builds the language model described by cfg.
